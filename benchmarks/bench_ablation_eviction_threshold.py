@@ -1,0 +1,62 @@
+"""Ablation: background-eviction threshold sweep.
+
+The paper fixes the trigger/drain thresholds at 500/50 (Section VIII-E).
+This ablation shows the trade-off those numbers buy: lower thresholds keep
+the stash (client memory) small but spend more dummy reads; higher thresholds
+do the opposite.  Run on the worst-case permutation workload where the
+effect is visible.
+"""
+
+from repro.core.config import LAORAMConfig
+from repro.core.laoram import LAORAMClient
+from repro.datasets.permutation import PermutationTraceGenerator
+from repro.oram.config import ORAMConfig
+from repro.oram.eviction import EvictionPolicy
+
+from .conftest import BENCH_SCALE_SMALL, record
+
+THRESHOLDS = (50, 150, 400)
+
+
+def test_ablation_eviction_threshold(benchmark):
+    scale = BENCH_SCALE_SMALL
+    trace = PermutationTraceGenerator(scale.num_blocks, seed=8).generate(
+        scale.num_accesses
+    )
+
+    def sweep():
+        results = {}
+        for threshold in THRESHOLDS:
+            config = LAORAMConfig(
+                oram=ORAMConfig(
+                    num_blocks=scale.num_blocks,
+                    block_size_bytes=scale.block_size_bytes,
+                    seed=8,
+                ),
+                superblock_size=8,
+            )
+            client = LAORAMClient(
+                config,
+                eviction=EvictionPolicy(
+                    trigger_threshold=threshold, drain_target=max(5, threshold // 10)
+                ),
+            )
+            client.run_trace(trace.addresses)
+            snap = client.statistics
+            results[threshold] = (snap.dummy_reads_per_access, snap.stash_peak)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(
+        benchmark,
+        **{
+            f"threshold_{threshold}": f"dummy={dummy:.3f},stash_peak={peak}"
+            for threshold, (dummy, peak) in results.items()
+        },
+    )
+    dummy_rates = [results[t][0] for t in THRESHOLDS]
+    stash_peaks = [results[t][1] for t in THRESHOLDS]
+    # Tighter thresholds cannot reduce dummy reads, looser thresholds cannot
+    # reduce the stash peak.
+    assert dummy_rates[0] >= dummy_rates[-1]
+    assert stash_peaks[0] <= stash_peaks[-1] + 1

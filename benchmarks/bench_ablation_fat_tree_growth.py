@@ -1,0 +1,66 @@
+"""Ablation: fat-tree capacity schedules (design choice from Section V).
+
+The paper chooses linear bucket growth because exponential growth is
+impractical at the root.  This ablation compares the uniform tree against
+the two implemented fat-tree schedules (linear root-doubling and per-level
+increment) on stash pressure and memory cost, confirming the paper's
+argument that putting extra slots near the root is where the memory buys the
+most eviction headroom.
+"""
+
+from repro.core.config import LAORAMConfig
+from repro.core.laoram import LAORAMClient
+from repro.datasets.permutation import PermutationTraceGenerator
+from repro.oram.config import ORAMConfig
+from repro.oram.eviction import EvictionPolicy
+
+from .conftest import BENCH_SCALE_SMALL, record
+
+SCHEDULES = {
+    "uniform": {"fat_tree": False},
+    "linear_2x": {"fat_tree": True, "fat_tree_growth": "linear"},
+    "increment": {"fat_tree": True, "fat_tree_growth": "increment"},
+}
+
+
+def test_ablation_fat_tree_growth(benchmark):
+    scale = BENCH_SCALE_SMALL
+    trace = PermutationTraceGenerator(scale.num_blocks, seed=11).generate(
+        scale.num_accesses
+    )
+
+    def sweep():
+        results = {}
+        for name, overrides in SCHEDULES.items():
+            config = LAORAMConfig(
+                oram=ORAMConfig(
+                    num_blocks=scale.num_blocks,
+                    block_size_bytes=scale.block_size_bytes,
+                    seed=11,
+                    **overrides,
+                ),
+                superblock_size=8,
+            )
+            client = LAORAMClient(config, eviction=EvictionPolicy.disabled())
+            client.run_trace(trace.addresses)
+            results[name] = (
+                client.statistics.stash_peak,
+                client.server_memory_bytes,
+            )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(
+        benchmark,
+        **{
+            f"{name}": f"stash_peak={peak},server_bytes={memory}"
+            for name, (peak, memory) in results.items()
+        },
+    )
+    uniform_peak, uniform_memory = results["uniform"]
+    for name in ("linear_2x", "increment"):
+        fat_peak, fat_memory = results[name]
+        # Any fat schedule trades a bounded memory increase for a smaller stash.
+        assert fat_peak <= uniform_peak
+        assert fat_memory > uniform_memory
+        assert fat_memory < uniform_memory * 1.6

@@ -1,0 +1,58 @@
+"""Ablation: how much lookahead does the preprocessor need?
+
+The paper notes the preprocessor may scan anything from a few batches to an
+entire epoch (Section IV-B).  This ablation sweeps the lookahead window and
+shows that most of the benefit is already captured with a window of a few
+thousand accesses on a reuse-heavy (XNLI-like) workload: the window must be
+long enough to contain a block's next occurrence for coalescing to work.
+"""
+
+from repro.core.config import LAORAMConfig
+from repro.core.laoram import LAORAMClient
+from repro.datasets.xnli import SyntheticXNLITrace
+from repro.oram.config import ORAMConfig
+from repro.oram.path_oram import PathORAM
+
+from .conftest import BENCH_SCALE_SMALL, record
+
+WINDOWS = (64, 512, None)  # None = whole trace
+
+
+def test_ablation_lookahead_window(benchmark):
+    scale = BENCH_SCALE_SMALL
+    trace = SyntheticXNLITrace(vocabulary_size=scale.num_blocks, seed=9).generate(
+        scale.num_accesses
+    )
+    oram_config = ORAMConfig(
+        num_blocks=scale.num_blocks, block_size_bytes=scale.block_size_bytes, seed=9
+    )
+
+    def sweep():
+        baseline = PathORAM(oram_config)
+        baseline.access_many(trace.addresses)
+        base_per_access = baseline.simulated_time_s / len(trace)
+        speedups = {}
+        for window in WINDOWS:
+            config = LAORAMConfig(
+                oram=oram_config.with_overrides(seed=10),
+                superblock_size=4,
+                lookahead_accesses=window,
+            )
+            client = LAORAMClient(config)
+            client.run_trace(trace.addresses)
+            per_access = client.simulated_time_s / len(trace)
+            speedups[window] = base_per_access / per_access
+        return speedups
+
+    speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(
+        benchmark,
+        **{
+            f"window_{window if window is not None else 'full'}": round(value, 2)
+            for window, value in speedups.items()
+        },
+    )
+    # More lookahead never hurts, and the full-trace plan is the best.
+    assert speedups[None] >= speedups[512] * 0.95
+    assert speedups[512] >= speedups[64] * 0.95
+    assert speedups[None] > 1.5

@@ -1,0 +1,62 @@
+"""Ablation: superblock-size sweep beyond the paper's 2/4/8 grid.
+
+DESIGN.md calls out the superblock size as the central design knob: larger
+bins amortise more path fetches but increase stash pressure and dummy reads.
+This sweep locates the sweet spot for the normal and fat trees on the Kaggle
+workload and also verifies that every swept configuration keeps its observed
+path stream uniform (the security side-condition of Section VI).
+"""
+
+import pytest
+
+from repro.attacks.observer import MemoryBusObserver
+from repro.datasets.registry import make_trace
+from repro.experiments.configs import build_oram_config
+from repro.experiments.runner import run_configuration
+from repro.utils.stats import chi_square_uniformity
+
+from .conftest import BENCH_SCALE_SMALL, record
+
+SWEEP = (1, 2, 4, 8, 16)
+
+
+@pytest.mark.parametrize("fat", [False, True], ids=["normal", "fat"])
+def test_ablation_superblock_size(benchmark, fat):
+    scale = BENCH_SCALE_SMALL
+    trace = make_trace("kaggle", scale.num_blocks, scale.num_accesses, seed=7)
+    oram_config = build_oram_config(
+        num_blocks=scale.num_blocks, block_size_bytes=scale.block_size_bytes, seed=7
+    )
+    tree = "Fat" if fat else "Normal"
+
+    def sweep():
+        observer = MemoryBusObserver()
+        baseline = run_configuration(
+            "PathORAM", trace, oram_config, seed=7, observer=observer
+        )
+        results = {1: baseline}
+        for size in SWEEP[1:]:
+            results[size] = run_configuration(
+                f"{tree}/S{size}", trace, oram_config, seed=7 + size
+            )
+        uniformity = chi_square_uniformity(
+            observer.observed_paths, oram_config.num_leaves
+        )
+        return results, uniformity
+
+    results, uniformity = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    baseline = results[1]
+    speedups = {size: results[size].speedup_over(baseline) for size in SWEEP}
+    record(
+        benchmark,
+        tree=tree,
+        **{f"S{size}": round(speedup, 2) for size, speedup in speedups.items()},
+        dummy_reads_S16=round(results[16].dummy_reads_per_access, 3),
+    )
+    assert speedups[4] > speedups[2] > 1.0
+    assert not uniformity.rejects_uniformity(alpha=0.001)
+    # Diminishing (or negative) returns must appear somewhere in the sweep:
+    # the marginal gain of doubling S shrinks as stash pressure builds.
+    gain_2_to_4 = speedups[4] / speedups[2]
+    gain_8_to_16 = speedups[16] / speedups[8]
+    assert gain_8_to_16 < gain_2_to_4

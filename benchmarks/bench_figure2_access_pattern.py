@@ -1,0 +1,24 @@
+"""Figure 2 benchmark: Kaggle embedding-access pattern of 10k samples.
+
+Paper claim: accesses look random over ~10.1M indices apart from a thin,
+heavily repeated band at low indices.  The benchmark regenerates the data
+and reports the hot-band fraction and unique-access fraction.
+"""
+
+from repro.experiments.figure2 import run_figure2
+
+from .conftest import record
+
+
+def test_figure2_access_pattern(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure2(num_accesses=10_000, seed=0), rounds=1, iterations=1
+    )
+    record(
+        benchmark,
+        accesses=len(result.indices),
+        unique_fraction=round(result.unique_fraction, 3),
+        hot_band_fraction=round(result.hot_band_fraction, 3),
+        looks_random_with_hot_band=result.looks_random_with_hot_band,
+    )
+    assert result.looks_random_with_hot_band

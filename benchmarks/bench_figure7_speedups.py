@@ -1,0 +1,51 @@
+"""Figure 7 benchmarks: LAORAM speedups over PathORAM on all six workloads.
+
+Paper claims (shape, not absolute values):
+
+* the best LAORAM configuration reaches ~5x on DLRM-Kaggle (7e) and ~5.4x on
+  XLM-R-XNLI (7f);
+* the adversarial permutation workload (7a/7b) gains far less, and the
+  normal tree dips at superblock size 8 because of dummy-read pressure;
+* the fat tree outperforms the normal tree at the larger superblock sizes.
+"""
+
+import pytest
+
+from repro.experiments.figure7 import run_figure7
+
+from .conftest import BENCH_SCALE, BENCH_SCALE_SMALL, record
+
+_SCALES = {
+    "7a": BENCH_SCALE_SMALL,
+    "7b": BENCH_SCALE_SMALL,
+    "7c": BENCH_SCALE_SMALL,
+    "7d": BENCH_SCALE_SMALL,
+    "7e": BENCH_SCALE,
+    "7f": BENCH_SCALE,
+}
+
+
+@pytest.mark.parametrize("subfigure", sorted(_SCALES))
+def test_figure7_speedups(benchmark, subfigure):
+    scale = _SCALES[subfigure]
+    result = benchmark.pedantic(
+        lambda: run_figure7(subfigure, scale, seed=1), rounds=1, iterations=1
+    )
+    speedups = {label: round(value, 2) for label, value in result.speedups.items()}
+    record(
+        benchmark,
+        subfigure=subfigure,
+        dataset=result.dataset,
+        best=result.best_configuration,
+        **{label.replace("/", "_"): value for label, value in speedups.items()},
+    )
+    # Shape assertions common to every sub-figure.
+    assert result.speedups["PathORAM"] == pytest.approx(1.0)
+    assert result.best_speedup > 1.2
+    if subfigure in ("7e", "7f"):
+        # ML workloads: large speedups, S8 beats S2.
+        assert result.best_speedup > 2.5
+        assert result.speedups["Fat/S8"] > result.speedups["Fat/S2"]
+    if subfigure in ("7a", "7b"):
+        # Worst-case permutation: the fat tree rescues the large superblocks.
+        assert result.speedups["Fat/S8"] >= result.speedups["Normal/S8"] * 0.9

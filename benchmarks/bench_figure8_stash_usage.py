@@ -1,0 +1,29 @@
+"""Figure 8 benchmark: stash growth of fat vs normal trees (no eviction).
+
+Paper claim: after ~12.5k worst-case accesses the normal tree's stash is
+roughly 3x the fat tree's at superblock size 4, and larger superblocks make
+the gap worse.
+"""
+
+from repro.experiments.figure8 import run_figure8
+
+from .conftest import BENCH_SCALE, record
+
+
+def test_figure8_stash_growth(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure8(BENCH_SCALE, seed=2), rounds=1, iterations=1
+    )
+    record(
+        benchmark,
+        num_accesses=result.num_accesses,
+        **{label.replace("-", "_"): occ for label, occ in result.final_occupancy.items()},
+        normal4_over_fat4=round(result.growth_ratio("Normal-4", "Fat-4"), 2),
+        normal8_over_fat8=round(result.growth_ratio("Normal-8", "Fat-8"), 2),
+    )
+    assert result.final_occupancy["Normal-4"] > result.final_occupancy["Fat-4"]
+    assert result.final_occupancy["Normal-8"] > result.final_occupancy["Fat-8"]
+    # Stash histories must be monotone enough to show growth, i.e. the final
+    # occupancy dominates the early occupancy for the normal tree.
+    history = result.histories["Normal-4"]
+    assert history[-1] >= history[len(history) // 4]

@@ -1,0 +1,32 @@
+"""Figure 9 benchmark: memory-traffic reduction on the Kaggle workload.
+
+Paper claims: Normal/S2 hits its theoretical bound of 2x exactly; larger
+superblocks fall short of their bounds once background evictions appear; the
+fat tree's reduction for small superblocks trails the normal tree (its paths
+are ~50% larger) but catches up at superblock size 8.
+"""
+
+import pytest
+
+from repro.experiments.figure9 import run_figure9
+
+from .conftest import BENCH_SCALE, record
+
+
+def test_figure9_traffic_reduction(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure9(BENCH_SCALE, seed=3), rounds=1, iterations=1
+    )
+    record(
+        benchmark,
+        dataset=result.dataset,
+        **{
+            label.replace("/", "_"): round(value, 2)
+            for label, value in result.reductions.items()
+        },
+    )
+    assert result.reductions["Normal/S2"] == pytest.approx(2.0, rel=0.1)
+    for label in result.reductions:
+        assert result.within_bound(label, tolerance=1.1)
+    assert result.reductions["Normal/S4"] > result.reductions["Normal/S2"]
+    assert result.reductions["Fat/S2"] < result.reductions["Normal/S2"]

@@ -1,0 +1,27 @@
+"""Section VIII-C benchmark: memory-neutral fat tree vs enlarged normal tree.
+
+Paper claim: a fat tree with buckets 9 (root) to 5 (leaf) uses ~16.6% less
+memory than a uniform bucket-6 tree yet triggers ~12.4% fewer dummy reads.
+"""
+
+from repro.experiments.memory_neutral import run_memory_neutral
+
+from .conftest import BENCH_SCALE, record
+
+
+def test_memory_neutral_comparison(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_memory_neutral(BENCH_SCALE, seed=5), rounds=1, iterations=1
+    )
+    record(
+        benchmark,
+        normal_memory=result.normal_memory_bytes,
+        fat_memory=result.fat_memory_bytes,
+        normal_dummy_reads=result.normal_dummy_reads,
+        fat_dummy_reads=result.fat_dummy_reads,
+        memory_saving=round(result.fat_memory_saving_fraction, 3),
+        dummy_reduction=round(result.dummy_read_reduction_fraction, 3),
+    )
+    assert result.fat_memory_bytes < result.normal_memory_bytes
+    assert 0.05 < result.fat_memory_saving_fraction < 0.35
+    assert result.fat_dummy_reads <= result.normal_dummy_reads

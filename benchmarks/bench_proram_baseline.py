@@ -1,0 +1,47 @@
+"""Section II-D / VII-B benchmark: PrORAM degrades to PathORAM on Kaggle.
+
+The paper justifies using plain PathORAM as its baseline by observing that
+history-based superblocks (PrORAM) find almost no exploitable locality in
+the near-random embedding access stream of Fig. 2, "even after ignoring the
+superblock tracking and formation overheads".  This benchmark checks that
+claim directly and contrasts it with LAORAM, whose future knowledge does
+find the structure.
+"""
+
+import pytest
+
+from repro.datasets.registry import make_trace
+from repro.experiments.configs import build_oram_config
+from repro.experiments.runner import run_configuration
+
+from .conftest import BENCH_SCALE_SMALL, record
+
+
+def test_proram_degrades_to_pathoram_on_kaggle(benchmark):
+    scale = BENCH_SCALE_SMALL
+    trace = make_trace("kaggle", scale.num_blocks, scale.num_accesses, seed=13)
+    oram_config = build_oram_config(
+        num_blocks=scale.num_blocks, block_size_bytes=scale.block_size_bytes, seed=13
+    )
+
+    def run_all():
+        labels = ("PathORAM", "PrORAM-dynamic/S4", "PrORAM-static/S4", "Fat/S4")
+        return {
+            label: run_configuration(label, trace, oram_config, seed=13 + offset)
+            for offset, label in enumerate(labels)
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    baseline = results["PathORAM"]
+    speedups = {
+        label: result.speedup_over(baseline) for label, result in results.items()
+    }
+    record(
+        benchmark,
+        **{label.replace("/", "_"): round(value, 2) for label, value in speedups.items()},
+    )
+    # History-based PrORAM buys essentially nothing on the random trace...
+    assert speedups["PrORAM-dynamic/S4"] == pytest.approx(1.0, abs=0.15)
+    assert speedups["PrORAM-static/S4"] < 1.5
+    # ...while LAORAM's lookahead finds the structure the history cannot.
+    assert speedups["Fat/S4"] > 2.0

@@ -1,0 +1,29 @@
+"""Section VIII-G benchmark: PathORAM vs RingORAM vs LAORAM.
+
+Paper discussion: RingORAM reduces online bandwidth (one block per bucket)
+and is orthogonal to LAORAM; LAORAM's superblocks still deliver the larger
+end-to-end improvement on embedding-training traces.
+"""
+
+from repro.experiments.ring_comparison import run_ring_comparison
+
+from .conftest import BENCH_SCALE_SMALL, record
+
+
+def test_ring_oram_comparison(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_ring_comparison(BENCH_SCALE_SMALL, laoram_label="Fat/S4", seed=6),
+        rounds=1,
+        iterations=1,
+    )
+    record(
+        benchmark,
+        dataset=result.dataset,
+        pathoram_bytes_per_access=round(result.bytes_per_access("PathORAM")),
+        ringoram_bytes_per_access=round(result.bytes_per_access("RingORAM")),
+        laoram_bytes_per_access=round(result.bytes_per_access("Fat/S4")),
+        ringoram_speedup=round(result.speedup_over_pathoram("RingORAM"), 2),
+        laoram_speedup=round(result.speedup_over_pathoram("Fat/S4"), 2),
+    )
+    assert result.bytes_per_access("RingORAM") < result.bytes_per_access("PathORAM")
+    assert result.speedup_over_pathoram("Fat/S4") > 1.5

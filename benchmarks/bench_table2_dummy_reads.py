@@ -1,0 +1,38 @@
+"""Table II benchmark: average dummy reads per access.
+
+Paper claims (shape): the permutation workload needs by far the most dummy
+reads; the fat tree reduces dummy reads by roughly 3x relative to the normal
+tree at the same superblock size; the real-model workloads (Kaggle, XNLI)
+need almost none.
+"""
+
+from repro.experiments.table2 import run_table2
+
+from .conftest import BENCH_SCALE_SMALL, record
+
+
+def test_table2_dummy_reads(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table2(BENCH_SCALE_SMALL, seed=4), rounds=1, iterations=1
+    )
+    record(
+        benchmark,
+        **{
+            f"{config.replace('/', '_')}_{dataset}": round(value, 3)
+            for config, per_dataset in result.dummy_reads.items()
+            for dataset, value in per_dataset.items()
+        },
+    )
+    # Permutation is the worst case for every configuration.
+    for config in ("Normal/S8", "Fat/S8"):
+        assert result.value(config, "permutation") >= result.value(config, "xnli")
+    # The fat tree never needs more dummy reads than the normal tree.
+    for superblock in (4, 8):
+        for dataset in ("permutation", "gaussian", "kaggle", "xnli"):
+            assert result.value(f"Fat/S{superblock}", dataset) <= result.value(
+                f"Normal/S{superblock}", dataset
+            ) + 1e-9
+    # Larger superblocks put more pressure on the stash.
+    assert result.value("Normal/S8", "permutation") >= result.value(
+        "Normal/S4", "permutation"
+    )

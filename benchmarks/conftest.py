@@ -1,0 +1,43 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+``small`` scale preset (see ``repro.experiments.scale`` for why reduced
+scales preserve the shape of the results).  The reproduced numbers are
+attached to each benchmark's ``extra_info`` so they appear in
+``pytest-benchmark``'s JSON output, and are also printed so that a plain
+``pytest benchmarks/ --benchmark-only -s`` run shows the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scale import ExperimentScale
+
+#: Scale used by the benchmark harness.  Small enough that the whole suite
+#: completes in a few minutes of pure Python, large enough that stash and
+#: eviction dynamics resemble the paper's.
+BENCH_SCALE = ExperimentScale(name="bench", num_blocks=1 << 12, num_accesses=8_192)
+
+#: Reduced scale for the experiments that sweep many configurations.
+BENCH_SCALE_SMALL = ExperimentScale(name="bench-small", num_blocks=1 << 11, num_accesses=4_096)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """Default benchmark scale."""
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_scale_small() -> ExperimentScale:
+    """Smaller scale for configuration sweeps."""
+    return BENCH_SCALE_SMALL
+
+
+def record(benchmark, **info) -> None:
+    """Attach reproduction numbers to the benchmark record and print them."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value
+    printable = ", ".join(f"{key}={value}" for key, value in info.items())
+    print(f"\n[{benchmark.name}] {printable}")

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Attack demonstration: what a curious OS learns with and without LAORAM.
+
+Section I-A of the paper describes the attack: a curious OS marks the
+embedding-table pages not-present so every lookup faults (revealing the
+page), then refines the observation to cache-line granularity with
+flush+reload — recovering exactly which embedding rows (i.e. which user
+categories) were accessed.  This script runs that adversary against
+
+* an unprotected embedding table — the category histogram is recovered
+  perfectly; and
+* the same workload through LAORAM — the adversary sees only uniformly
+  distributed tree paths carrying (essentially) no information.
+
+Run with ``python examples/attack_demo.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import InsecureMemory, LAORAMClient, LAORAMConfig, ORAMConfig
+from repro.attacks import (
+    CuriousOSObserver,
+    MemoryBusObserver,
+    analyze_address_leakage,
+    analyze_path_obliviousness,
+    recover_access_histogram,
+)
+from repro.datasets import SyntheticKaggleTrace
+
+NUM_CATEGORIES = 512
+ROW_BYTES = 128
+NUM_ACCESSES = 4_000
+
+#: Human-readable names for the hottest categories (the paper's Fig. 1 story).
+CATEGORY_NAMES = {0: "comedy", 1: "politics", 2: "thriller", 3: "maps", 4: "arts"}
+
+
+def main() -> None:
+    trace = SyntheticKaggleTrace(
+        num_blocks=NUM_CATEGORIES, hot_band_size=5, hot_fraction=0.4, seed=2
+    ).generate(NUM_ACCESSES)
+    true_addresses = trace.addresses.tolist()
+
+    # ------------------------------------------------------------------
+    # 1. No protection: the curious OS recovers every accessed row.
+    # ------------------------------------------------------------------
+    curious_os = CuriousOSObserver(block_size_bytes=ROW_BYTES, cache_line_bytes=ROW_BYTES)
+    insecure = InsecureMemory(
+        ORAMConfig(num_blocks=NUM_CATEGORIES, block_size_bytes=ROW_BYTES),
+        observer=curious_os,
+    )
+    insecure.access_many(trace.addresses)
+    recovered = curious_os.recovered_block_ids()
+    leakage = analyze_address_leakage(true_addresses, recovered)
+    histogram = recover_access_histogram(recovered)
+    top = sorted(histogram.items(), key=lambda item: -item[1])[:5]
+
+    print("=== Unprotected embedding table ===")
+    print(f"adversary observations:      {len(recovered)} cache-line addresses")
+    print(f"exact rows recovered:        {leakage.top1_recovery_rate:.0%} of accesses")
+    print(f"leaked information:          {leakage.leakage_fraction:.0%} of the stream's entropy")
+    print("recovered user interests (top categories):")
+    for category, count in top:
+        name = CATEGORY_NAMES.get(category, f"category {category}")
+        print(f"    {name:<12} accessed {count} times")
+
+    # ------------------------------------------------------------------
+    # 2. Same workload through LAORAM: only uniform paths are visible.
+    # ------------------------------------------------------------------
+    bus_observer = MemoryBusObserver()
+    laoram = LAORAMClient(
+        LAORAMConfig(
+            oram=ORAMConfig(
+                num_blocks=NUM_CATEGORIES, block_size_bytes=ROW_BYTES, fat_tree=True, seed=6
+            ),
+            superblock_size=4,
+        ),
+        observer=bus_observer,
+    )
+    laoram.run_trace(trace.addresses)
+    report = analyze_path_obliviousness(
+        true_addresses, bus_observer.observed_paths, num_leaves=laoram.config.num_leaves
+    )
+
+    print("\n=== Same workload through LAORAM ===")
+    print(f"adversary observations:      {report.num_observations} tree-path fetches")
+    print(
+        "path uniformity (chi-square): "
+        + ("PASS (indistinguishable from uniform)" if not report.uniformity.rejects_uniformity() else "FAIL")
+    )
+    print(f"information about accesses:  {report.mutual_information_bits:.3f} bits (estimation noise)")
+    print(f"verdict:                     {'oblivious' if report.looks_oblivious else 'LEAKING'}")
+    print(
+        "\nThe adversary no longer learns which categories the user's samples"
+        "\ntouched — every fetch is a uniformly random path of the ORAM tree."
+    )
+
+
+if __name__ == "__main__":
+    main()

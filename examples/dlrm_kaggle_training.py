@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""DLRM training with the large embedding table protected by LAORAM.
+
+The scenario from the paper's introduction: a recommendation model (DLRM)
+trains on click-through data whose categorical features index an embedding
+table; the table lives in untrusted CPU memory, so the row addresses must be
+hidden.  This example trains a small DLRM on a synthetic Criteo-style
+dataset twice — once with the largest table behind PathORAM and once behind
+LAORAM — and reports both the learning metrics (identical data in, identical
+learning out) and the memory-access cost (where LAORAM wins).
+
+Run with ``python examples/dlrm_kaggle_training.py``.
+"""
+
+from __future__ import annotations
+
+from repro import LAORAMClient, LAORAMConfig, ORAMConfig, PathORAM
+from repro.datasets import SyntheticCriteoDataset
+from repro.embedding import (
+    DLRMModel,
+    EmbeddingTable,
+    ObliviousEmbeddingTrainer,
+    SecureEmbeddingStore,
+)
+
+PROTECTED_ROWS = 2048
+EMBEDDING_DIM = 16
+NUM_SAMPLES = 256
+BATCH_SIZE = 32
+
+
+def train_once(engine_name: str) -> None:
+    dataset = SyntheticCriteoDataset(
+        num_samples=NUM_SAMPLES, largest_table_rows=PROTECTED_ROWS, seed=7
+    )
+    oram_config = ORAMConfig(
+        num_blocks=PROTECTED_ROWS, block_size_bytes=EMBEDDING_DIM * 4, seed=11
+    )
+    if engine_name == "LAORAM":
+        engine = LAORAMClient(
+            LAORAMConfig(
+                oram=oram_config.with_overrides(fat_tree=True), superblock_size=8
+            )
+        )
+    else:
+        engine = PathORAM(oram_config)
+
+    table = EmbeddingTable(PROTECTED_ROWS, EMBEDDING_DIM, seed=3)
+    store = SecureEmbeddingStore(engine, table)
+    model = DLRMModel(
+        num_dense_features=13,
+        small_table_sizes=dataset.table_sizes[:-1],
+        embedding_dim=EMBEDDING_DIM,
+        seed=0,
+    )
+    trainer = ObliviousEmbeddingTrainer(store)
+    report = trainer.train_dlrm_epoch(model, dataset, batch_size=BATCH_SIZE)
+
+    print(f"\n=== {engine_name} ===")
+    print(f"training loss:            {report.mean_loss:.4f}")
+    print(f"training accuracy:        {report.accuracy:.2%}")
+    print(f"embedding rows accessed:  {report.embedding_accesses}")
+    print(f"ORAM path fetches:        {report.path_reads}")
+    print(f"dummy fetches:            {report.dummy_reads}")
+    print(f"simulated access time:    {report.simulated_time_s * 1e3:.2f} ms")
+
+
+def main() -> None:
+    print(
+        "Training a small DLRM on synthetic Criteo data; the largest embedding\n"
+        f"table ({PROTECTED_ROWS} rows) is served through an ORAM engine."
+    )
+    train_once("PathORAM")
+    train_once("LAORAM")
+    print(
+        "\nThe two runs see identical embedding data, so the learning metrics\n"
+        "match; LAORAM needs a fraction of the path fetches because the\n"
+        "preprocessor coalesces each minibatch's rows onto shared paths."
+    )
+
+
+if __name__ == "__main__":
+    main()

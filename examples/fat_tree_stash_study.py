@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Fat-tree stash study: reproduce Figures 8/9-style results interactively.
+
+Superblocks put pressure on the client stash because several blocks suddenly
+want to live on the same path (Section V of the paper).  This example runs
+the worst-case permutation workload with background eviction disabled and
+plots (as ASCII) how the stash grows for the normal tree versus the fat
+tree, then reruns with eviction enabled to show the dummy-read cost.
+
+Run with ``python examples/fat_tree_stash_study.py``.
+"""
+
+from __future__ import annotations
+
+from repro import EvictionPolicy, LAORAMClient, LAORAMConfig, ORAMConfig
+from repro.datasets import PermutationTraceGenerator
+from repro.memory import TrafficCounter
+
+NUM_ROWS = 2048
+NUM_ACCESSES = 6_000
+SUPERBLOCK = 8
+
+
+def run(label: str, fat: bool, eviction: EvictionPolicy) -> tuple[list[int], float]:
+    counter = TrafficCounter(record_stash_history=True)
+    client = LAORAMClient(
+        LAORAMConfig(
+            oram=ORAMConfig(
+                num_blocks=NUM_ROWS, block_size_bytes=128, fat_tree=fat, seed=4
+            ),
+            superblock_size=SUPERBLOCK,
+        ),
+        counter=counter,
+        eviction=eviction,
+    )
+    trace = PermutationTraceGenerator(NUM_ROWS, seed=5).generate(NUM_ACCESSES)
+    client.run_trace(trace.addresses)
+    return counter.stash_history, counter.snapshot().dummy_reads_per_access
+
+
+def ascii_plot(histories: dict[str, list[int]], width: int = 60, height: int = 12) -> str:
+    """Tiny ASCII line chart of stash occupancy over accesses."""
+    peak = max(max(history) for history in histories.values()) or 1
+    lines = []
+    markers = {label: marker for label, marker in zip(histories, "*o+x")}
+    for row in range(height, 0, -1):
+        threshold = peak * row / height
+        line = []
+        for column in range(width):
+            cell = " "
+            for label, history in histories.items():
+                index = min(len(history) - 1, int(column * len(history) / width))
+                if history[index] >= threshold:
+                    cell = markers[label]
+            line.append(cell)
+        lines.append(f"{int(threshold):>6} |" + "".join(line))
+    lines.append("       +" + "-" * width)
+    legend = "  ".join(f"{marker}={label}" for label, marker in markers.items())
+    lines.append(f"        stash occupancy vs. superblock accesses   ({legend})")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(
+        f"Worst-case permutation workload, superblock size {SUPERBLOCK}, "
+        "background eviction disabled:\n"
+    )
+    histories = {}
+    for label, fat in (("normal", False), ("fat 8-to-4", True)):
+        history, _ = run(label, fat, EvictionPolicy.disabled())
+        histories[label] = history
+        print(f"  {label:<12} final stash = {history[-1]:>5} blocks")
+    print()
+    print(ascii_plot(histories))
+
+    print("\nWith background eviction (trigger 500 / drain 50), the stash stays")
+    print("bounded and the cost shows up as dummy reads instead:\n")
+    for label, fat in (("normal", False), ("fat 8-to-4", True)):
+        _, dummy_rate = run(label, fat, EvictionPolicy.paper_default())
+        print(f"  {label:<12} dummy reads per access = {dummy_rate:.3f}")
+    print(
+        "\nThe fat tree absorbs superblock write-backs near the root, so it both"
+        "\ngrows the stash more slowly and needs fewer dummy evictions."
+    )
+
+
+if __name__ == "__main__":
+    main()

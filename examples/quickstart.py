@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: protect an embedding-table access stream with LAORAM.
+
+This script walks through the core public API in a few steps:
+
+1. build a PathORAM baseline and a LAORAM client (fat tree, superblock 4)
+   over the same 4096-row embedding table;
+2. generate a synthetic DLRM-Kaggle style access trace;
+3. run the trace through both engines;
+4. compare path fetches, bytes moved and simulated access latency.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from repro import LAORAMClient, LAORAMConfig, ORAMConfig, PathORAM
+from repro.datasets import SyntheticKaggleTrace
+from repro.utils.units import format_bytes, format_duration
+
+NUM_ROWS = 4096
+ROW_BYTES = 128
+NUM_ACCESSES = 10_000
+
+
+def main() -> None:
+    # 1. The tree geometry shared by both engines: 4096 embedding rows of
+    #    128 bytes, bucket size 4 (the paper's default).
+    oram_config = ORAMConfig(
+        num_blocks=NUM_ROWS, block_size_bytes=ROW_BYTES, bucket_size=4, seed=1
+    )
+
+    baseline = PathORAM(oram_config)
+    laoram = LAORAMClient(
+        LAORAMConfig(
+            oram=oram_config.with_overrides(fat_tree=True, seed=2),
+            superblock_size=4,
+        )
+    )
+
+    # 2. A Kaggle-like access stream: mostly random rows plus a small hot band.
+    trace = SyntheticKaggleTrace(num_blocks=NUM_ROWS, hot_band_size=64, seed=3).generate(
+        NUM_ACCESSES
+    )
+    print(f"workload: {len(trace)} accesses over {trace.num_blocks} embedding rows")
+
+    # 3. Drive both engines.  PathORAM performs one oblivious access per
+    #    trace element; LAORAM preprocesses the trace into superblocks and
+    #    fetches each superblock's path once.
+    baseline.access_many(trace.addresses)
+    laoram.run_trace(trace.addresses)
+
+    # 4. Compare.
+    print(f"\n{'metric':<32}{'PathORAM':>16}{'LAORAM Fat/S4':>16}")
+    rows = [
+        ("path fetches (real)", baseline.statistics.path_reads, laoram.statistics.path_reads),
+        ("dummy fetches", baseline.statistics.dummy_reads, laoram.statistics.dummy_reads),
+        ("bytes moved", format_bytes(baseline.statistics.total_bytes), format_bytes(laoram.statistics.total_bytes)),
+        ("stash peak (blocks)", baseline.statistics.stash_peak, laoram.statistics.stash_peak),
+        ("simulated time", format_duration(baseline.simulated_time_s), format_duration(laoram.simulated_time_s)),
+        ("server memory", format_bytes(baseline.server_memory_bytes), format_bytes(laoram.server_memory_bytes)),
+    ]
+    for name, base_value, laoram_value in rows:
+        print(f"{name:<32}{str(base_value):>16}{str(laoram_value):>16}")
+
+    speedup = (baseline.simulated_time_s / len(trace)) / (
+        laoram.simulated_time_s / len(trace)
+    )
+    print(f"\nLAORAM speedup over PathORAM: {speedup:.2f}x")
+    print("Both engines expose only uniformly random tree paths to the server.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""XLM-R-style NLP training with the token embedding table behind LAORAM.
+
+The paper's second workload: an NLP model whose token embedding table is
+trained on the XNLI corpus.  Token ids follow a Zipfian distribution, which
+is the friendliest case for LAORAM (few dummy reads, large speedups).  This
+example trains a mean-pooled token-embedding classifier on a synthetic XNLI
+dataset with the embedding table behind LAORAM and reports learning and
+memory-access metrics per epoch.
+
+Run with ``python examples/xlmr_xnli_training.py``.
+"""
+
+from __future__ import annotations
+
+from repro import LAORAMClient, LAORAMConfig, ORAMConfig
+from repro.datasets import SyntheticXNLIDataset
+from repro.embedding import (
+    EmbeddingTable,
+    ObliviousEmbeddingTrainer,
+    SecureEmbeddingStore,
+    XLMRClassifier,
+)
+
+VOCABULARY = 2048
+EMBEDDING_DIM = 16
+SEQUENCE_LENGTH = 16
+NUM_SAMPLES = 96
+EPOCHS = 3
+
+
+def main() -> None:
+    dataset = SyntheticXNLIDataset(
+        num_samples=NUM_SAMPLES,
+        vocabulary_size=VOCABULARY,
+        sequence_length=SEQUENCE_LENGTH,
+        seed=5,
+    )
+    engine = LAORAMClient(
+        LAORAMConfig(
+            oram=ORAMConfig(
+                num_blocks=VOCABULARY, block_size_bytes=EMBEDDING_DIM * 4, fat_tree=True, seed=9
+            ),
+            superblock_size=8,
+        )
+    )
+    table = EmbeddingTable(VOCABULARY, EMBEDDING_DIM, seed=1)
+    store = SecureEmbeddingStore(engine, table)
+    model = XLMRClassifier(embedding_dim=EMBEDDING_DIM, num_classes=3, learning_rate=0.2, seed=0)
+    trainer = ObliviousEmbeddingTrainer(store)
+
+    print(
+        f"Training a token-embedding classifier on {NUM_SAMPLES} synthetic XNLI\n"
+        f"samples ({SEQUENCE_LENGTH} tokens each); the {VOCABULARY}-row embedding\n"
+        "table is served through LAORAM (Fat/S8).\n"
+    )
+    print(f"{'epoch':>5}  {'loss':>8}  {'accuracy':>8}  {'path fetches':>12}  {'dummy':>6}")
+    previous_reads = 0
+    for epoch in range(1, EPOCHS + 1):
+        report = trainer.train_xlmr_epoch(model, dataset)
+        epoch_reads = report.path_reads - previous_reads
+        previous_reads = report.path_reads
+        print(
+            f"{epoch:>5}  {report.mean_loss:>8.4f}  {report.accuracy:>8.2%}  "
+            f"{epoch_reads:>12}  {report.dummy_reads:>6}"
+        )
+
+    accesses_per_epoch = NUM_SAMPLES * SEQUENCE_LENGTH * 2  # fetch + write-back
+    print(
+        f"\nEach epoch performs {accesses_per_epoch} token-embedding accesses"
+        f"\n(fetch plus gradient write-back); the final epoch needed only"
+        f"\n{epoch_reads} path fetches thanks to lookahead superblocks over the"
+        "\nZipf-repeating token stream."
+    )
+
+
+if __name__ == "__main__":
+    main()

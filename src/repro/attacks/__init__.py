@@ -1,0 +1,18 @@
+"""Threat-model harness: adversarial observers and leakage analysis."""
+
+from repro.attacks.observer import CuriousOSObserver, MemoryBusObserver
+from repro.attacks.analysis import (
+    LeakageReport,
+    analyze_address_leakage,
+    analyze_path_obliviousness,
+    recover_access_histogram,
+)
+
+__all__ = [
+    "MemoryBusObserver",
+    "CuriousOSObserver",
+    "LeakageReport",
+    "analyze_address_leakage",
+    "analyze_path_obliviousness",
+    "recover_access_histogram",
+]

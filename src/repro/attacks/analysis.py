@@ -1,0 +1,113 @@
+"""Quantifying what an observer learned: leakage and obliviousness analysis.
+
+Two complementary analyses back the paper's security argument (Section VI):
+
+* **Address leakage** — against the insecure baseline the adversary's
+  observations carry (almost) all of the information in the true access
+  stream: the mutual information approaches the stream's entropy and the
+  recovered histogram matches the true category histogram.
+* **Path obliviousness** — against PathORAM/LAORAM the adversary sees only
+  leaf labels which must be (a) uniform over the leaves and (b) essentially
+  independent of the accessed blocks.  The chi-square test checks (a), and
+  mutual information between true addresses and observed paths checks (b).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.stats import (
+    ChiSquareResult,
+    chi_square_uniformity,
+    empirical_entropy,
+    mutual_information,
+)
+
+
+@dataclass(frozen=True)
+class LeakageReport:
+    """How much the adversary's observations reveal about the true accesses."""
+
+    true_entropy_bits: float
+    mutual_information_bits: float
+    top1_recovery_rate: float
+
+    @property
+    def leakage_fraction(self) -> float:
+        """Fraction of the access stream's entropy the observations expose."""
+        if self.true_entropy_bits == 0:
+            return 0.0
+        return min(1.0, self.mutual_information_bits / self.true_entropy_bits)
+
+
+def recover_access_histogram(observations: Sequence[int]) -> dict[int, int]:
+    """Histogram of observed values — the adversary's reconstruction of interest."""
+    return dict(Counter(int(value) for value in observations))
+
+
+def analyze_address_leakage(
+    true_addresses: Sequence[int], observed: Sequence[int]
+) -> LeakageReport:
+    """Quantify leakage when observations align one-to-one with true accesses."""
+    true_list = [int(a) for a in true_addresses]
+    observed_list = [int(o) for o in observed]
+    entropy = empirical_entropy(true_list)
+    info = mutual_information(true_list, observed_list) if observed_list else 0.0
+    matches = sum(1 for t, o in zip(true_list, observed_list) if t == o)
+    top1 = matches / len(true_list) if true_list else 0.0
+    return LeakageReport(
+        true_entropy_bits=entropy,
+        mutual_information_bits=info,
+        top1_recovery_rate=top1,
+    )
+
+
+@dataclass(frozen=True)
+class OblivionessReport:
+    """Statistical checks of an ORAM's observable path stream."""
+
+    uniformity: ChiSquareResult
+    mutual_information_bits: float
+    num_observations: int
+
+    @property
+    def looks_oblivious(self) -> bool:
+        """Paths are uniform and carry (almost) no information about accesses."""
+        return (not self.uniformity.rejects_uniformity()) and (
+            self.mutual_information_bits < 0.25
+        )
+
+
+def analyze_path_obliviousness(
+    true_addresses: Sequence[int],
+    observed_paths: Sequence[int],
+    num_leaves: int,
+    coarse_bins: int = 8,
+) -> OblivionessReport:
+    """Check the observed path stream for uniformity and independence.
+
+    The mutual information is computed between coarsened addresses and
+    coarsened paths (``coarse_bins`` buckets each) so the finite-sample
+    estimation bias — roughly ``(bins - 1)^2 / (2 ln 2 · n)`` bits — stays
+    well below the 0.25-bit decision threshold for the observation counts the
+    experiments produce; an oblivious engine drives the true value to zero.
+    """
+    paths = np.asarray(list(observed_paths), dtype=np.int64)
+    uniformity = chi_square_uniformity(paths, num_leaves)
+    true_arr = np.asarray(list(true_addresses), dtype=np.int64)
+    length = min(true_arr.size, paths.size)
+    if length == 0:
+        info = 0.0
+    else:
+        true_bins = (true_arr[:length] * coarse_bins // max(1, true_arr.max() + 1)).tolist()
+        path_bins = (paths[:length] * coarse_bins // num_leaves).tolist()
+        info = mutual_information(true_bins, path_bins)
+    return OblivionessReport(
+        uniformity=uniformity,
+        mutual_information_bits=info,
+        num_observations=int(paths.size),
+    )

@@ -1,0 +1,119 @@
+"""Command-line entry point regenerating the paper's tables and figures.
+
+Examples::
+
+    laoram-repro table1
+    laoram-repro figure7 --subfigure 7e --scale small
+    laoram-repro table2 --scale tiny
+    laoram-repro all --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments import report
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure7 import SUBFIGURES, run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.memory_neutral import run_memory_neutral
+from repro.experiments.scale import get_scale
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+
+def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=("tiny", "small", "medium", "large"),
+        help="experiment scale preset (default: small)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="laoram-repro",
+        description="Regenerate the LAORAM paper's evaluation tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    fig2 = subparsers.add_parser("figure2", help="Kaggle access-pattern summary")
+    fig2.add_argument("--accesses", type=int, default=10_000)
+
+    fig7 = subparsers.add_parser("figure7", help="speedup over PathORAM")
+    fig7.add_argument("--subfigure", default="7e", choices=sorted(SUBFIGURES))
+    _add_scale_argument(fig7)
+
+    fig8 = subparsers.add_parser("figure8", help="stash growth, fat vs normal tree")
+    _add_scale_argument(fig8)
+
+    fig9 = subparsers.add_parser("figure9", help="memory traffic reduction")
+    _add_scale_argument(fig9)
+
+    subparsers.add_parser("table1", help="memory requirement of each organisation")
+
+    tab2 = subparsers.add_parser("table2", help="average dummy reads per access")
+    _add_scale_argument(tab2)
+
+    neutral = subparsers.add_parser(
+        "memory-neutral", help="fat tree vs enlarged normal tree"
+    )
+    _add_scale_argument(neutral)
+
+    everything = subparsers.add_parser("all", help="run every experiment")
+    _add_scale_argument(everything)
+    return parser
+
+
+def run_command(args: argparse.Namespace) -> str:
+    """Execute the selected experiment and return its textual report."""
+    if args.command == "figure2":
+        result = run_figure2(num_accesses=args.accesses)
+        return (
+            "Figure 2: Kaggle access pattern\n"
+            f"  accesses: {len(result.indices)}\n"
+            f"  unique fraction: {result.unique_fraction:.2f}\n"
+            f"  hot band fraction: {result.hot_band_fraction:.2f}\n"
+            f"  table coverage: {result.coverage_fraction:.4f}"
+        )
+    if args.command == "figure7":
+        return report.render_figure7(run_figure7(args.subfigure, get_scale(args.scale)))
+    if args.command == "figure8":
+        return report.render_figure8(run_figure8(get_scale(args.scale)))
+    if args.command == "figure9":
+        return report.render_figure9(run_figure9(get_scale(args.scale)))
+    if args.command == "table1":
+        return report.render_table1(run_table1())
+    if args.command == "table2":
+        return report.render_table2(run_table2(get_scale(args.scale)))
+    if args.command == "memory-neutral":
+        return report.render_memory_neutral(run_memory_neutral(get_scale(args.scale)))
+    if args.command == "all":
+        scale = get_scale(args.scale)
+        sections = [
+            report.render_table1(run_table1()),
+            report.render_figure7(run_figure7("7e", scale)),
+            report.render_figure8(run_figure8(scale)),
+            report.render_figure9(run_figure9(scale)),
+            report.render_table2(run_table2(scale)),
+            report.render_memory_neutral(run_memory_neutral(scale)),
+        ]
+        return "\n\n".join(sections)
+    raise ValueError(f"unknown command {args.command!r}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    print(run_command(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

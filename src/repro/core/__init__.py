@@ -1,0 +1,17 @@
+"""LAORAM core: look-ahead superblock formation, preprocessor and client."""
+
+from repro.core.config import LAORAMConfig
+from repro.core.laoram import LAORAMClient
+from repro.core.preprocessor import Preprocessor
+from repro.core.superblock import LookaheadPlan, SuperblockBin
+from repro.core.pipeline import PipelineEstimate, TrainingPipeline
+
+__all__ = [
+    "LAORAMConfig",
+    "LAORAMClient",
+    "Preprocessor",
+    "LookaheadPlan",
+    "SuperblockBin",
+    "PipelineEstimate",
+    "TrainingPipeline",
+]

@@ -1,0 +1,316 @@
+"""The LAORAM client: PathORAM machinery driven by lookahead superblocks.
+
+LAORAM keeps PathORAM's tree, stash, position map and eviction logic (and
+therefore its obliviousness argument), but changes two things:
+
+* **Superblock-granularity access.**  The trace is processed in the bins the
+  preprocessor formed.  All blocks of a bin that already sit in the stash are
+  served for free; the remaining blocks are grouped by their current path and
+  each distinct path is fetched exactly once.  After a warm-up epoch most of
+  a bin's blocks share one path, so a bin of ``S`` accesses costs roughly one
+  path read instead of ``S``.
+* **Plan-driven remapping.**  When a block is written back, its new path is
+  the path of the superblock bin in which it is next accessed (falling back
+  to a uniformly random path when the plan has no future occurrence).  Since
+  every bin's path was drawn uniformly and independently of the block's
+  identity, the observable access pattern stays identical to PathORAM's
+  (Section VI of the paper).
+
+The fat-tree option lives entirely in :class:`~repro.oram.config.ORAMConfig`,
+so the same client runs both the "Normal" and "Fat" configurations of the
+evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import BlockNotFoundError, ConfigurationError
+from repro.memory.accounting import TrafficCounter
+from repro.memory.timing import TimingModel
+from repro.oram.base import AccessOp
+from repro.oram.eviction import EvictionPolicy
+from repro.oram.path_oram import PathORAM
+from repro.core.config import LAORAMConfig
+from repro.core.preprocessor import Preprocessor
+from repro.core.superblock import LookaheadPlan, SuperblockBin
+
+
+class LAORAMClient(PathORAM):
+    """Look-ahead ORAM client (the paper's contribution)."""
+
+    def __init__(
+        self,
+        config: LAORAMConfig,
+        timing: Optional[TimingModel] = None,
+        counter: Optional[TrafficCounter] = None,
+        eviction: Optional[EvictionPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
+        observer=None,
+    ):
+        if not isinstance(config, LAORAMConfig):
+            raise ConfigurationError("LAORAMClient requires an LAORAMConfig")
+        super().__init__(
+            config.oram,
+            timing=timing,
+            counter=counter,
+            eviction=eviction,
+            rng=rng,
+            observer=observer,
+        )
+        self.laoram_config = config
+        self.preprocessor = Preprocessor(
+            superblock_size=config.superblock_size,
+            num_leaves=config.oram.num_leaves,
+            rng=self.rng,
+        )
+        self._plan: Optional[LookaheadPlan] = None
+        self._trace_cursor = 0
+
+    # ------------------------------------------------------------------
+    # Plan management
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> Optional[LookaheadPlan]:
+        """The lookahead plan currently guiding path reassignment."""
+        return self._plan
+
+    def set_plan(self, plan: LookaheadPlan) -> None:
+        """Install a preprocessor-produced plan for subsequent accesses."""
+        self._plan = plan
+
+    def preprocess(self, addresses: Sequence[int] | np.ndarray, start_index: int = 0) -> LookaheadPlan:
+        """Run the preprocessor over ``addresses`` and install the plan."""
+        plan = self.preprocessor.build_plan(addresses, start_index=start_index)
+        self.set_plan(plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Trace-level entry points
+    # ------------------------------------------------------------------
+    def run_trace(
+        self,
+        addresses: Sequence[int] | np.ndarray,
+        reinitialize_placement: bool = True,
+    ) -> None:
+        """Preprocess and execute a full access trace at superblock granularity.
+
+        When ``lookahead_accesses`` is set the trace is preprocessed in
+        windows of that many accesses, modelling a preprocessor with bounded
+        memory; otherwise the whole trace is planned at once.
+
+        ``reinitialize_placement`` applies the first window's plan to the
+        initial data layout: the embedding table is loaded into the ORAM tree
+        during trusted setup (before the adversary observes anything), so the
+        client is free to choose each block's initial path, and choosing the
+        path of the block's first planned superblock means even first-time
+        accesses are coalesced.  Every bin path is still drawn uniformly and
+        independently, so the observable access pattern is unchanged.  The
+        reinitialisation is only permitted before any adversary-visible
+        access has been issued.
+        """
+        addr = np.asarray(addresses, dtype=np.int64)
+        window = self.laoram_config.lookahead_accesses or addr.size
+        offset = 0
+        first_window = True
+        while offset < addr.size:
+            chunk = addr[offset : offset + window]
+            plan = self.preprocess(chunk, start_index=offset)
+            if first_window and reinitialize_placement:
+                self.apply_initial_placement(plan)
+                first_window = False
+            for superblock in plan.bins:
+                self.access_superblock(superblock)
+            offset += window
+
+    def apply_initial_placement(self, plan: LookaheadPlan) -> None:
+        """Lay the table out so each block starts on its first planned path.
+
+        This is a trusted-setup operation (the same trust assumption PathORAM
+        makes for its initial bulk load): it may only run before the first
+        adversary-visible access, and it is not charged to the traffic
+        counters.
+        """
+        if self.counter.logical_accesses:
+            raise ConfigurationError(
+                "initial placement can only be applied before any access"
+            )
+        # Reassign initial paths: first planned occurrence when available.
+        for block_id in range(self.config.num_blocks):
+            leaf = plan.next_leaf(block_id, after_index=-1)
+            if leaf is not None:
+                self.position_map.set(block_id, leaf)
+        # Rebuild the tree layout under the new position map, preserving any
+        # payloads installed by load_payloads().
+        blocks = list(self.tree.iter_blocks()) + [self.stash.pop(b) for b in self.stash.block_ids]
+        blocks = [block for block in blocks if block is not None]
+        self.tree = type(self.tree)(
+            depth=self.config.depth,
+            bucket_capacities=self.config.bucket_capacities(),
+            block_size_bytes=self.config.block_size_bytes,
+            metadata_bytes_per_block=self.config.metadata_bytes_per_block,
+        )
+        self.stash.clear()
+        for block in blocks:
+            block.leaf = self.position_map.get(block.block_id)
+            if not self.tree.try_place_on_path(block):
+                self.stash.add(block)
+
+    def access_superblock(
+        self,
+        superblock: SuperblockBin,
+        new_payloads: Optional[dict[int, object]] = None,
+    ) -> list[Optional[object]]:
+        """Serve every access of one superblock bin.
+
+        Returns the payloads in the bin's access order.  Path reads are
+        deduplicated: blocks already in the stash cost nothing, and blocks
+        sharing a path are fetched together.  ``new_payloads`` turns the
+        corresponding accesses into writes (the payload is replaced before
+        the block is written back).
+        """
+        block_ids = superblock.block_ids
+        self.counter.record_logical_access(len(block_ids))
+        self.timing.charge_client_overhead(len(block_ids))
+
+        needed = list(superblock.unique_block_ids)
+        for block_id in needed:
+            self._check_block_id(block_id)
+
+        # Group the blocks that are not cached in the stash by their current
+        # path, then fetch each distinct path exactly once.
+        read_leaves: list[int] = []
+        missing = [b for b in needed if b not in self.stash]
+        self._stash_hits += len(needed) - len(missing)
+        if missing:
+            leaves = {}
+            for block_id in missing:
+                leaves.setdefault(self.position_map.get(block_id), []).append(block_id)
+            for leaf in leaves:
+                self._read_path_into_stash(leaf, dummy=False)
+                read_leaves.append(leaf)
+
+        payloads: list[Optional[object]] = []
+        for block_id in block_ids:
+            block = self.stash.get(block_id)
+            if block is None:
+                raise BlockNotFoundError(
+                    f"block {block_id} missing from both stash and its path"
+                )
+            if new_payloads is not None and block_id in new_payloads:
+                block.payload = new_payloads[block_id]
+            payloads.append(block.payload)
+
+        # Remap every distinct block of the bin to the path of its *next*
+        # planned occurrence (uniform random when the plan runs out).
+        for block_id in needed:
+            block = self.stash.get(block_id)
+            new_leaf = self._planned_leaf(block_id, after_index=superblock.end_index)
+            block.leaf = new_leaf
+            self.position_map.set(block_id, new_leaf)
+
+        for leaf in read_leaves:
+            self._write_back(leaf)
+
+        self._trace_cursor = superblock.end_index + 1
+        self._maybe_background_evict()
+        self.counter.observe_stash(len(self.stash))
+        return payloads
+
+    def access_many(self, block_ids: Sequence[int]) -> list[Optional[object]]:
+        """Batched read access: ids are grouped into superblock-sized bins.
+
+        This is the entry point the embedding trainer uses: each consecutive
+        group of ``superblock_size`` requested rows is served as one
+        superblock, so blocks sharing a path cost a single fetch.  Bin
+        boundaries are aligned to the global access index so they coincide
+        with the boundaries the preprocessor used when planning the trace.
+        """
+        ids = [int(b) for b in block_ids]
+        payloads: list[Optional[object]] = []
+        offset = 0
+        while offset < len(ids):
+            chunk = tuple(ids[offset : offset + self._next_bin_length()])
+            superblock = SuperblockBin(
+                bin_id=-1,
+                start_index=self._trace_cursor,
+                block_ids=chunk,
+                leaf=0,
+            )
+            payloads.extend(self.access_superblock(superblock))
+            offset += len(chunk)
+        return payloads
+
+    def _next_bin_length(self) -> int:
+        """Length of the next ad-hoc bin so it ends on a superblock boundary."""
+        size = self.laoram_config.superblock_size
+        return size - (self._trace_cursor % size)
+
+    def write_many(
+        self, block_ids: Sequence[int], payloads: Sequence[object]
+    ) -> None:
+        """Batched write access: like :meth:`access_many` but storing payloads.
+
+        Gradient write-backs of a training minibatch go through here so that
+        updated rows sharing a path cost a single fetch, mirroring the read
+        side.  Duplicate ids within the batch keep the last payload.
+        """
+        ids = [int(b) for b in block_ids]
+        if len(ids) != len(payloads):
+            raise ConfigurationError("block_ids and payloads must have equal length")
+        offset = 0
+        while offset < len(ids):
+            take = self._next_bin_length()
+            chunk = ids[offset : offset + take]
+            updates = dict(zip(chunk, payloads[offset : offset + take]))
+            superblock = SuperblockBin(
+                bin_id=-1,
+                start_index=self._trace_cursor,
+                block_ids=tuple(chunk),
+                leaf=0,
+            )
+            self.access_superblock(superblock, new_payloads=updates)
+            offset += len(chunk)
+
+    @property
+    def trace_cursor(self) -> int:
+        """Number of planned accesses consumed so far (plan lookup position)."""
+        return self._trace_cursor
+
+    # ------------------------------------------------------------------
+    # Single-access compatibility path
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        block_id: int,
+        op: AccessOp = AccessOp.READ,
+        new_payload: Optional[object] = None,
+    ) -> Optional[object]:
+        """Single-block access (PathORAM semantics, plan-driven remapping)."""
+        payload = super().access(block_id, op, new_payload)
+        self._trace_cursor += 1
+        return payload
+
+    def _choose_new_leaf(self, block_id: int) -> int:
+        return self._planned_leaf(block_id, after_index=self._trace_cursor)
+
+    def _planned_leaf(self, block_id: int, after_index: int) -> int:
+        if self._plan is not None:
+            leaf = self._plan.consume_next_leaf(block_id, after_index)
+            if leaf is not None:
+                return leaf
+        return int(self.rng.integers(0, self.config.num_leaves))
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def superblock_size(self) -> int:
+        """Configured superblock size ``S``."""
+        return self.laoram_config.superblock_size
+
+    def describe(self) -> str:
+        """Configuration label in the paper's notation (e.g. ``"Fat/S4"``)."""
+        return self.laoram_config.describe()

@@ -1,0 +1,84 @@
+"""Two-stage LAORAM pipeline model: preprocessing overlapped with training.
+
+Section VIII-A of the paper argues that preprocessing is not on the critical
+path because it is orders of magnitude faster than GPU training and runs
+ahead of it.  This module provides a small analytic model of that two-stage
+pipeline so the claim can be checked for arbitrary parameter choices and the
+crossover point (where preprocessing *would* become the bottleneck) can be
+located.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PipelineEstimate:
+    """Result of evaluating the two-stage pipeline for one workload."""
+
+    total_time_s: float
+    preprocessing_time_s: float
+    training_time_s: float
+    preprocessing_on_critical_path: bool
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Fraction of total time attributable to exposed preprocessing."""
+        if self.total_time_s == 0:
+            return 0.0
+        exposed = self.total_time_s - self.training_time_s
+        return max(0.0, exposed / self.total_time_s)
+
+
+@dataclass(frozen=True)
+class TrainingPipeline:
+    """Analytic model of the preprocess-then-train pipeline.
+
+    Attributes:
+        preprocess_time_per_sample_s: Time the preprocessor spends per
+            training sample (index extraction + bin assignment).
+        train_time_per_sample_s: Time the trainer GPU spends per sample
+            (embedding fetch through the ORAM plus the model update).
+        batch_size: Samples per training batch; the pipeline operates at
+            batch granularity (preprocessing of batch ``i+1`` overlaps with
+            training of batch ``i``).
+    """
+
+    preprocess_time_per_sample_s: float = 5e-7
+    train_time_per_sample_s: float = 5e-4
+    batch_size: int = 128
+
+    def __post_init__(self) -> None:
+        if self.preprocess_time_per_sample_s < 0 or self.train_time_per_sample_s < 0:
+            raise ConfigurationError("per-sample times must be non-negative")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+
+    def estimate(self, num_samples: int) -> PipelineEstimate:
+        """Pipeline completion time for ``num_samples`` training samples."""
+        if num_samples < 0:
+            raise ConfigurationError("num_samples must be non-negative")
+        num_batches = -(-num_samples // self.batch_size) if num_samples else 0
+        pre_batch = self.batch_size * self.preprocess_time_per_sample_s
+        train_batch = self.batch_size * self.train_time_per_sample_s
+        preprocessing_time = num_batches * pre_batch
+        training_time = num_batches * train_batch
+        if num_batches == 0:
+            return PipelineEstimate(0.0, 0.0, 0.0, False)
+        # Classic two-stage pipeline: first batch's preprocessing is exposed,
+        # afterwards the slower stage dominates.
+        stage = max(pre_batch, train_batch)
+        total = pre_batch + stage * (num_batches - 1) + train_batch
+        return PipelineEstimate(
+            total_time_s=total,
+            preprocessing_time_s=preprocessing_time,
+            training_time_s=training_time,
+            preprocessing_on_critical_path=pre_batch > train_batch,
+        )
+
+    def crossover_preprocess_time_s(self) -> float:
+        """Per-sample preprocessing time at which it would become the bottleneck."""
+        return self.train_time_per_sample_s

@@ -1,0 +1,144 @@
+"""Superblock bins and the lookahead plan produced by the preprocessor.
+
+A *superblock bin* is a group of ``S`` consecutive future embedding-table
+accesses that the preprocessor assigns to one uniformly random path.  The
+*lookahead plan* is the metadata the preprocessor ships to the trainer GPU:
+for every block it records, in trace order, which bin (and therefore which
+path) each future occurrence belongs to.  When the client writes a block back
+it asks the plan for the block's next occurrence and uses that bin's path as
+the block's new position, so that by the time the bin is processed all of its
+blocks sit on a single path.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class SuperblockBin:
+    """One group of consecutive future accesses sharing a path.
+
+    Attributes:
+        bin_id: Sequential id of the bin within the plan.
+        start_index: Trace index of the first access in the bin.
+        block_ids: The accessed block ids, in trace order (duplicates kept).
+        leaf: The uniformly random path assigned to the bin.
+    """
+
+    bin_id: int
+    start_index: int
+    block_ids: tuple[int, ...]
+    leaf: int
+
+    @property
+    def end_index(self) -> int:
+        """Trace index of the last access in the bin."""
+        return self.start_index + len(self.block_ids) - 1
+
+    @property
+    def unique_block_ids(self) -> tuple[int, ...]:
+        """Distinct block ids in the bin, preserving first-occurrence order."""
+        seen: dict[int, None] = {}
+        for block_id in self.block_ids:
+            seen.setdefault(block_id, None)
+        return tuple(seen.keys())
+
+    def __len__(self) -> int:
+        return len(self.block_ids)
+
+
+class LookaheadPlan:
+    """Future-path metadata for a window of the access trace."""
+
+    def __init__(self, bins: Sequence[SuperblockBin], num_leaves: int):
+        if num_leaves < 2:
+            raise ValueError("num_leaves must be >= 2")
+        self._bins = tuple(bins)
+        self._num_leaves = num_leaves
+        # Per block: parallel lists of occurrence indices and the leaf of the
+        # bin containing that occurrence, both in increasing trace order.
+        self._occurrence_index: dict[int, list[int]] = {}
+        self._occurrence_leaf: dict[int, list[int]] = {}
+        # Highest occurrence index already handed out by consume_next_leaf;
+        # ensures every planned path is used as a reassignment at most once.
+        self._consumed_up_to: dict[int, int] = {}
+        for sb in self._bins:
+            for offset, block_id in enumerate(sb.block_ids):
+                self._occurrence_index.setdefault(block_id, []).append(
+                    sb.start_index + offset
+                )
+                self._occurrence_leaf.setdefault(block_id, []).append(sb.leaf)
+
+    # ------------------------------------------------------------------
+    @property
+    def bins(self) -> tuple[SuperblockBin, ...]:
+        """Every superblock bin in trace order."""
+        return self._bins
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of paths the plan draws from."""
+        return self._num_leaves
+
+    @property
+    def num_accesses(self) -> int:
+        """Total number of accesses covered by the plan."""
+        return sum(len(sb) for sb in self._bins)
+
+    def __len__(self) -> int:
+        return len(self._bins)
+
+    def __iter__(self) -> Iterable[SuperblockBin]:
+        return iter(self._bins)
+
+    # ------------------------------------------------------------------
+    def next_leaf(self, block_id: int, after_index: int) -> Optional[int]:
+        """Path of the bin holding ``block_id``'s next occurrence after ``after_index``.
+
+        Returns ``None`` when the block does not appear again within the
+        planned window, in which case the client falls back to a uniformly
+        random path (the plan then carries no information about the block).
+        """
+        indices = self._occurrence_index.get(block_id)
+        if not indices:
+            return None
+        pos = bisect_right(indices, after_index)
+        if pos >= len(indices):
+            return None
+        return self._occurrence_leaf[block_id][pos]
+
+    def consume_next_leaf(self, block_id: int, after_index: int) -> Optional[int]:
+        """Like :meth:`next_leaf`, but each planned occurrence is used once.
+
+        Consecutive reassignments of the same block (for example a fetch
+        immediately followed by a gradient write-back) must receive paths of
+        *different* future occurrences, otherwise an adversary would observe
+        the same leaf several times in close succession and could link those
+        accesses.  Consuming occurrences makes every reassignment an
+        independent uniform draw, exactly as in PathORAM.
+        """
+        indices = self._occurrence_index.get(block_id)
+        if not indices:
+            return None
+        floor = max(after_index, self._consumed_up_to.get(block_id, -1))
+        pos = bisect_right(indices, floor)
+        if pos >= len(indices):
+            return None
+        self._consumed_up_to[block_id] = indices[pos]
+        return self._occurrence_leaf[block_id][pos]
+
+    def occurrences(self, block_id: int) -> list[int]:
+        """Trace indices at which ``block_id`` is accessed within the window."""
+        return list(self._occurrence_index.get(block_id, []))
+
+    def metadata_bytes(self) -> int:
+        """Approximate size of the (superblock, future path) metadata.
+
+        This is what the preprocessor transmits to the trainer GPU: one
+        (block id, path) pair per planned access, 12 bytes each (8-byte id +
+        4-byte path).
+        """
+        return 12 * self.num_accesses

@@ -1,0 +1,46 @@
+"""Gaussian trace: addresses sampled from a (clipped) normal distribution.
+
+Used by the paper as a second synthetic workload: accesses concentrate around
+the mean, so there is some natural reuse but no strong spatial locality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import AccessTrace
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import make_rng
+
+
+class GaussianTraceGenerator:
+    """Generates address streams drawn from a normal distribution."""
+
+    def __init__(
+        self,
+        num_blocks: int,
+        mean_fraction: float = 0.5,
+        std_fraction: float = 0.125,
+        seed: int = 0,
+    ):
+        if num_blocks < 1:
+            raise ConfigurationError("num_blocks must be >= 1")
+        if not 0.0 <= mean_fraction <= 1.0:
+            raise ConfigurationError("mean_fraction must be within [0, 1]")
+        if std_fraction <= 0.0:
+            raise ConfigurationError("std_fraction must be positive")
+        self.num_blocks = num_blocks
+        self.mean_fraction = mean_fraction
+        self.std_fraction = std_fraction
+        self.seed = seed
+
+    def generate(self, num_accesses: int) -> AccessTrace:
+        """Generate ``num_accesses`` Gaussian-distributed addresses."""
+        if num_accesses < 1:
+            raise ConfigurationError("num_accesses must be >= 1")
+        rng = make_rng(self.seed)
+        mean = self.mean_fraction * self.num_blocks
+        std = self.std_fraction * self.num_blocks
+        samples = rng.normal(loc=mean, scale=std, size=num_accesses)
+        addresses = np.clip(np.rint(samples), 0, self.num_blocks - 1).astype(np.int64)
+        return AccessTrace("gaussian", self.num_blocks, addresses)

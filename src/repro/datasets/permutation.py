@@ -1,0 +1,49 @@
+"""Permutation trace: the worst case for stash pressure (Section VII-B).
+
+Each epoch visits every embedding row exactly once in a fresh random order,
+so within an epoch there are no repeated addresses — the configuration the
+original PathORAM paper proves maximises stash-overflow probability.  The
+trace can span multiple epochs; LAORAM's coalescing only pays off from the
+second epoch onward because the first epoch's write-backs are what place
+future superblocks on shared paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import AccessTrace
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import make_rng
+
+
+class PermutationTraceGenerator:
+    """Generates multi-epoch permutation access traces."""
+
+    def __init__(self, num_blocks: int, seed: int = 0):
+        if num_blocks < 1:
+            raise ConfigurationError("num_blocks must be >= 1")
+        self.num_blocks = num_blocks
+        self.seed = seed
+
+    def generate(self, num_accesses: int, epochs: int | None = None) -> AccessTrace:
+        """Generate a trace of ``num_accesses`` accesses.
+
+        When ``epochs`` is given, exactly that many full permutations are
+        concatenated and then truncated/padded to ``num_accesses``; otherwise
+        as many epochs as needed are produced.
+        """
+        if num_accesses < 1:
+            raise ConfigurationError("num_accesses must be >= 1")
+        rng = make_rng(self.seed)
+        needed_epochs = epochs if epochs is not None else -(-num_accesses // self.num_blocks)
+        if needed_epochs < 1:
+            raise ConfigurationError("epochs must be >= 1 when provided")
+        parts = [rng.permutation(self.num_blocks) for _ in range(needed_epochs)]
+        addresses = np.concatenate(parts)[:num_accesses]
+        if addresses.size < num_accesses:
+            # The caller asked for more accesses than the requested epochs
+            # contain; repeat the epochs until the request is satisfied.
+            reps = -(-num_accesses // addresses.size)
+            addresses = np.tile(addresses, reps)[:num_accesses]
+        return AccessTrace("permutation", self.num_blocks, addresses)

@@ -1,0 +1,57 @@
+"""Registry mapping the paper's workload names to trace generators."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.base import AccessTrace
+from repro.datasets.gaussian import GaussianTraceGenerator
+from repro.datasets.kaggle import SyntheticKaggleTrace
+from repro.datasets.permutation import PermutationTraceGenerator
+from repro.datasets.xnli import SyntheticXNLITrace
+from repro.datasets.zipf import ZipfTraceGenerator
+from repro.exceptions import ConfigurationError
+
+_BUILDERS: dict[str, Callable[[int, int, int], AccessTrace]] = {
+    "permutation": lambda blocks, accesses, seed: PermutationTraceGenerator(
+        blocks, seed=seed
+    ).generate(accesses),
+    "gaussian": lambda blocks, accesses, seed: GaussianTraceGenerator(
+        blocks, seed=seed
+    ).generate(accesses),
+    "kaggle": lambda blocks, accesses, seed: SyntheticKaggleTrace(
+        num_blocks=blocks,
+        hot_band_size=max(1, min(512, blocks // 8)),
+        seed=seed,
+    ).generate(accesses),
+    "xnli": lambda blocks, accesses, seed: SyntheticXNLITrace(
+        vocabulary_size=blocks, seed=seed
+    ).generate(accesses),
+    "zipf": lambda blocks, accesses, seed: ZipfTraceGenerator(
+        blocks, seed=seed
+    ).generate(accesses),
+}
+
+
+def available_traces() -> list[str]:
+    """Names accepted by :func:`make_trace`."""
+    return sorted(_BUILDERS)
+
+
+def make_trace(name: str, num_blocks: int, num_accesses: int, seed: int = 0) -> AccessTrace:
+    """Build the named workload trace.
+
+    Args:
+        name: One of :func:`available_traces` (``permutation``, ``gaussian``,
+            ``kaggle``, ``xnli``, ``zipf``).
+        num_blocks: Embedding-table size the trace indexes into.
+        num_accesses: Length of the access stream.
+        seed: Generator seed.
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown trace '{name}'; available: {', '.join(available_traces())}"
+        ) from None
+    return builder(num_blocks, num_accesses, seed)

@@ -1,0 +1,19 @@
+"""Embedding-table training substrate: tables, optimisers, DLRM and XLM-R models."""
+
+from repro.embedding.dlrm import DLRMModel
+from repro.embedding.optim import SparseAdagrad, SparseSGD
+from repro.embedding.secure_loader import SecureEmbeddingStore
+from repro.embedding.table import EmbeddingTable
+from repro.embedding.trainer import ObliviousEmbeddingTrainer, TrainingReport
+from repro.embedding.xlmr import XLMRClassifier
+
+__all__ = [
+    "EmbeddingTable",
+    "SparseSGD",
+    "SparseAdagrad",
+    "SecureEmbeddingStore",
+    "DLRMModel",
+    "XLMRClassifier",
+    "ObliviousEmbeddingTrainer",
+    "TrainingReport",
+]

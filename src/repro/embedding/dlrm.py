@@ -1,0 +1,201 @@
+"""A compact DLRM-style recommendation model with manual numpy gradients.
+
+This is the training substrate for the paper's recommendation workload: a
+bottom MLP over dense features, embedding lookups for categorical features,
+pairwise dot-product feature interactions, and a top MLP producing a
+click-through probability.  Only the *largest* embedding table is interesting
+from the privacy standpoint (it is the one served through the ORAM); the
+model therefore separates "protected" lookups — supplied by the caller, who
+fetched them through a :class:`~repro.embedding.secure_loader.SecureEmbeddingStore`
+— from the small tables it keeps in plain client memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.embedding.table import EmbeddingTable
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class DLRMForwardCache:
+    """Intermediate activations needed by the backward pass."""
+
+    dense: np.ndarray
+    bottom_hidden: np.ndarray
+    bottom_out: np.ndarray
+    feature_vectors: np.ndarray
+    interactions: np.ndarray
+    top_input: np.ndarray
+    top_hidden: np.ndarray
+    logit: float
+    probability: float
+
+
+@dataclass
+class DLRMGradients:
+    """Gradients of one sample: model parameters plus protected-row gradient."""
+
+    protected_row_grad: np.ndarray
+    loss: float
+
+
+class DLRMModel:
+    """Minimal DLRM: bottom MLP, dot interactions, top MLP, BCE loss."""
+
+    def __init__(
+        self,
+        num_dense_features: int,
+        small_table_sizes: tuple[int, ...],
+        embedding_dim: int = 16,
+        bottom_hidden_dim: int = 32,
+        top_hidden_dim: int = 32,
+        learning_rate: float = 0.05,
+        seed: int = 0,
+    ):
+        if num_dense_features < 1:
+            raise ConfigurationError("num_dense_features must be >= 1")
+        if embedding_dim < 1:
+            raise ConfigurationError("embedding_dim must be >= 1")
+        if learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        rng = make_rng(seed)
+        self.embedding_dim = embedding_dim
+        self.learning_rate = learning_rate
+        self.small_tables = [
+            EmbeddingTable(size, embedding_dim, rng=rng) for size in small_table_sizes
+        ]
+        scale_bottom = 1.0 / np.sqrt(num_dense_features)
+        scale_top = 1.0 / np.sqrt(embedding_dim)
+        self.w_bottom1 = (rng.normal(size=(num_dense_features, bottom_hidden_dim)) * scale_bottom).astype(np.float32)
+        self.b_bottom1 = np.zeros(bottom_hidden_dim, dtype=np.float32)
+        self.w_bottom2 = (rng.normal(size=(bottom_hidden_dim, embedding_dim)) * 0.1).astype(np.float32)
+        self.b_bottom2 = np.zeros(embedding_dim, dtype=np.float32)
+        num_features = 1 + len(small_table_sizes) + 1  # bottom out + small + protected
+        num_interactions = num_features * (num_features - 1) // 2
+        top_input_dim = embedding_dim + num_interactions
+        self.w_top1 = (rng.normal(size=(top_input_dim, top_hidden_dim)) * scale_top).astype(np.float32)
+        self.b_top1 = np.zeros(top_hidden_dim, dtype=np.float32)
+        self.w_top2 = (rng.normal(size=(top_hidden_dim, 1)) * 0.1).astype(np.float32)
+        self.b_top2 = np.zeros(1, dtype=np.float32)
+        self._num_features = num_features
+
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        dense: np.ndarray,
+        small_ids: np.ndarray,
+        protected_row: np.ndarray,
+    ) -> DLRMForwardCache:
+        """Forward pass for one sample.
+
+        Args:
+            dense: Dense feature vector.
+            small_ids: One categorical id per small (unprotected) table.
+            protected_row: Embedding vector of the protected table's id,
+                fetched obliviously by the caller.
+        """
+        dense = np.asarray(dense, dtype=np.float32)
+        hidden = np.maximum(dense @ self.w_bottom1 + self.b_bottom1, 0.0)
+        bottom_out = hidden @ self.w_bottom2 + self.b_bottom2
+
+        vectors = [bottom_out]
+        for table, row_id in zip(self.small_tables, small_ids):
+            vectors.append(table.row(int(row_id)))
+        vectors.append(np.asarray(protected_row, dtype=np.float32))
+        feature_vectors = np.stack(vectors)  # (F, d)
+
+        gram = feature_vectors @ feature_vectors.T
+        iu = np.triu_indices(self._num_features, k=1)
+        interactions = gram[iu]
+
+        top_input = np.concatenate([bottom_out, interactions])
+        top_hidden = np.maximum(top_input @ self.w_top1 + self.b_top1, 0.0)
+        logit = float((top_hidden @ self.w_top2)[0] + self.b_top2[0])
+        probability = 1.0 / (1.0 + np.exp(-logit))
+        return DLRMForwardCache(
+            dense=dense,
+            bottom_hidden=hidden,
+            bottom_out=bottom_out,
+            feature_vectors=feature_vectors,
+            interactions=interactions,
+            top_input=top_input,
+            top_hidden=top_hidden,
+            logit=logit,
+            probability=probability,
+        )
+
+    def backward(
+        self,
+        cache: DLRMForwardCache,
+        small_ids: np.ndarray,
+        label: int,
+        update: bool = True,
+    ) -> DLRMGradients:
+        """Backward pass (and optional in-place SGD step) for one sample.
+
+        Returns the loss and the gradient with respect to the protected
+        embedding row, which the caller writes back through the ORAM.
+        """
+        label = float(label)
+        prob = cache.probability
+        eps = 1e-7
+        loss = -(label * np.log(prob + eps) + (1.0 - label) * np.log(1.0 - prob + eps))
+        dlogit = np.float32(prob - label)
+
+        # Top MLP.
+        dw_top2 = np.outer(cache.top_hidden, dlogit).astype(np.float32)
+        db_top2 = np.array([dlogit], dtype=np.float32)
+        dtop_hidden = (self.w_top2[:, 0] * dlogit).astype(np.float32)
+        dtop_hidden_pre = dtop_hidden * (cache.top_hidden > 0)
+        dw_top1 = np.outer(cache.top_input, dtop_hidden_pre).astype(np.float32)
+        db_top1 = dtop_hidden_pre
+        dtop_input = (self.w_top1 @ dtop_hidden_pre).astype(np.float32)
+
+        d = self.embedding_dim
+        dbottom_out = dtop_input[:d].copy()
+        dinteractions = dtop_input[d:]
+
+        # Interactions: d(v_i . v_j)/dv_i = v_j.
+        dfeatures = np.zeros_like(cache.feature_vectors)
+        iu = np.triu_indices(self._num_features, k=1)
+        for grad, i, j in zip(dinteractions, iu[0], iu[1]):
+            dfeatures[i] += grad * cache.feature_vectors[j]
+            dfeatures[j] += grad * cache.feature_vectors[i]
+        dbottom_out += dfeatures[0]
+        dsmall = dfeatures[1:-1]
+        dprotected = dfeatures[-1].astype(np.float32)
+
+        # Bottom MLP.
+        dw_bottom2 = np.outer(cache.bottom_hidden, dbottom_out).astype(np.float32)
+        db_bottom2 = dbottom_out
+        dhidden = (self.w_bottom2 @ dbottom_out).astype(np.float32)
+        dhidden_pre = dhidden * (cache.bottom_hidden > 0)
+        dw_bottom1 = np.outer(cache.dense, dhidden_pre).astype(np.float32)
+        db_bottom1 = dhidden_pre
+
+        if update:
+            lr = self.learning_rate
+            self.w_top2 -= lr * dw_top2
+            self.b_top2 -= lr * db_top2
+            self.w_top1 -= lr * dw_top1
+            self.b_top1 -= lr * db_top1
+            self.w_bottom2 -= lr * dw_bottom2
+            self.b_bottom2 -= lr * db_bottom2
+            self.w_bottom1 -= lr * dw_bottom1
+            self.b_bottom1 -= lr * db_bottom1
+            for table, row_id, grad in zip(self.small_tables, small_ids, dsmall):
+                table.apply_gradients([int(row_id)], grad[None, :], lr)
+
+        return DLRMGradients(protected_row_grad=dprotected, loss=float(loss))
+
+    # ------------------------------------------------------------------
+    def predict_proba(
+        self, dense: np.ndarray, small_ids: np.ndarray, protected_row: np.ndarray
+    ) -> float:
+        """Click probability for one sample."""
+        return self.forward(dense, small_ids, protected_row).probability

@@ -1,0 +1,90 @@
+"""In-memory embedding tables (the data the ORAM protects)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import make_rng
+
+
+class EmbeddingTable:
+    """A dense ``num_rows x dim`` embedding matrix with sparse row access.
+
+    This is the plaintext view of the data; when served through an ORAM the
+    rows become block payloads and the table itself lives on the untrusted
+    server in encrypted, tree-ordered form.
+    """
+
+    def __init__(
+        self,
+        num_rows: int,
+        dim: int,
+        scale: float = 0.01,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+    ):
+        if num_rows < 1:
+            raise ConfigurationError("num_rows must be >= 1")
+        if dim < 1:
+            raise ConfigurationError("dim must be >= 1")
+        if scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        generator = rng if rng is not None else make_rng(seed)
+        self.num_rows = num_rows
+        self.dim = dim
+        self.weights = (generator.normal(size=(num_rows, dim)) * scale).astype(np.float32)
+
+    # ------------------------------------------------------------------
+    def lookup(self, row_ids: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Return the embedding vectors for ``row_ids`` (copy, shape ``(n, dim)``)."""
+        ids = self._validate_ids(row_ids)
+        return self.weights[ids].copy()
+
+    def row(self, row_id: int) -> np.ndarray:
+        """Return a copy of one embedding row."""
+        return self.lookup([row_id])[0]
+
+    def set_rows(self, row_ids: Sequence[int] | np.ndarray, values: np.ndarray) -> None:
+        """Overwrite the given rows with ``values`` (shape ``(n, dim)``)."""
+        ids = self._validate_ids(row_ids)
+        values = np.asarray(values, dtype=np.float32)
+        if values.shape != (ids.size, self.dim):
+            raise ConfigurationError(
+                f"values shape {values.shape} does not match ({ids.size}, {self.dim})"
+            )
+        self.weights[ids] = values
+
+    def apply_gradients(
+        self,
+        row_ids: Sequence[int] | np.ndarray,
+        gradients: np.ndarray,
+        learning_rate: float,
+    ) -> None:
+        """SGD-style in-place update ``w[id] -= lr * grad`` with duplicate handling."""
+        ids = self._validate_ids(row_ids)
+        gradients = np.asarray(gradients, dtype=np.float32)
+        if gradients.shape != (ids.size, self.dim):
+            raise ConfigurationError("gradients shape mismatch")
+        np.subtract.at(self.weights, ids, learning_rate * gradients)
+
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Size of the table in bytes."""
+        return int(self.weights.nbytes)
+
+    @property
+    def row_nbytes(self) -> int:
+        """Size of one row in bytes (the ORAM block payload size)."""
+        return int(self.weights[0].nbytes)
+
+    def _validate_ids(self, row_ids: Sequence[int] | np.ndarray) -> np.ndarray:
+        ids = np.asarray(row_ids, dtype=np.int64)
+        if ids.ndim != 1:
+            raise ConfigurationError("row_ids must be one-dimensional")
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_rows):
+            raise ConfigurationError("row id outside table")
+        return ids

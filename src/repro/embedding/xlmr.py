@@ -1,0 +1,93 @@
+"""XLM-R-style classifier: a token embedding table feeding a linear head.
+
+The paper's NLP workload trains the XLM-R embedding table on the XNLI task.
+For the reproduction the interesting component is the embedding table itself
+(262,144 rows of 4 KiB in the paper); the transformer layers above it are
+irrelevant to the memory access pattern, so this model uses mean pooling over
+token embeddings followed by a softmax classifier.  Token embeddings are
+supplied by the caller (fetched through the ORAM) and their gradients are
+returned for oblivious write-back, exactly like the DLRM model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class XLMRGradients:
+    """Per-sample loss and gradient with respect to each token embedding."""
+
+    token_grads: np.ndarray
+    loss: float
+    correct: bool
+
+
+class XLMRClassifier:
+    """Mean-pooled embedding classifier with a manual softmax/CE backward pass."""
+
+    def __init__(
+        self,
+        embedding_dim: int,
+        num_classes: int = 3,
+        learning_rate: float = 0.1,
+        seed: int = 0,
+    ):
+        if embedding_dim < 1:
+            raise ConfigurationError("embedding_dim must be >= 1")
+        if num_classes < 2:
+            raise ConfigurationError("num_classes must be >= 2")
+        if learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        rng = make_rng(seed)
+        self.embedding_dim = embedding_dim
+        self.num_classes = num_classes
+        self.learning_rate = learning_rate
+        self.weights = (rng.normal(size=(embedding_dim, num_classes)) / np.sqrt(embedding_dim)).astype(np.float32)
+        self.bias = np.zeros(num_classes, dtype=np.float32)
+
+    # ------------------------------------------------------------------
+    def forward(self, token_embeddings: np.ndarray) -> np.ndarray:
+        """Class probabilities for one token sequence (``(seq, dim)`` input)."""
+        token_embeddings = np.asarray(token_embeddings, dtype=np.float32)
+        if token_embeddings.ndim != 2 or token_embeddings.shape[1] != self.embedding_dim:
+            raise ConfigurationError("token_embeddings must have shape (seq, dim)")
+        pooled = token_embeddings.mean(axis=0)
+        logits = pooled @ self.weights + self.bias
+        logits -= logits.max()
+        exp = np.exp(logits)
+        return exp / exp.sum()
+
+    def train_step(
+        self, token_embeddings: np.ndarray, label: int, update: bool = True
+    ) -> XLMRGradients:
+        """One SGD step; returns the gradient for each token embedding row."""
+        token_embeddings = np.asarray(token_embeddings, dtype=np.float32)
+        probabilities = self.forward(token_embeddings)
+        if not 0 <= label < self.num_classes:
+            raise ConfigurationError("label outside class range")
+        loss = float(-np.log(probabilities[label] + 1e-7))
+        correct = bool(int(np.argmax(probabilities)) == label)
+
+        dlogits = probabilities.copy()
+        dlogits[label] -= 1.0
+        pooled = token_embeddings.mean(axis=0)
+        dw = np.outer(pooled, dlogits).astype(np.float32)
+        db = dlogits.astype(np.float32)
+        dpooled = (self.weights @ dlogits).astype(np.float32)
+        seq_len = token_embeddings.shape[0]
+        token_grads = np.tile(dpooled / seq_len, (seq_len, 1)).astype(np.float32)
+
+        if update:
+            self.weights -= self.learning_rate * dw
+            self.bias -= self.learning_rate * db
+        return XLMRGradients(token_grads=token_grads, loss=loss, correct=correct)
+
+    def predict(self, token_embeddings: np.ndarray) -> int:
+        """Most likely class for one token sequence."""
+        return int(np.argmax(self.forward(token_embeddings)))

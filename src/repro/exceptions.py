@@ -1,0 +1,35 @@
+"""Exception hierarchy for the LAORAM reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so callers
+can catch library failures without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class StashOverflowError(ReproError):
+    """The client stash exceeded its hard capacity limit."""
+
+
+class BlockNotFoundError(ReproError):
+    """A requested block id does not exist in the ORAM."""
+
+
+class IntegrityError(ReproError):
+    """Stored data failed an integrity check (decryption or consistency)."""
+
+
+class PlanExhaustedError(ReproError):
+    """A lookahead plan was asked about accesses beyond its window."""
+
+
+class TraceError(ReproError):
+    """An access trace is malformed (wrong dtype, out-of-range index, ...)."""

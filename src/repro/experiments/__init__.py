@@ -1,0 +1,25 @@
+"""Experiment harness reproducing every table and figure of the paper."""
+
+from repro.experiments.configs import (
+    PAPER_CONFIG_LABELS,
+    build_engine,
+    build_laoram_config,
+    build_oram_config,
+)
+from repro.experiments.metrics import ExperimentResult
+from repro.experiments.plotting import ascii_bar_chart, ascii_line_chart
+from repro.experiments.runner import compare_configurations, run_configuration
+from repro.experiments.scale import ExperimentScale
+
+__all__ = [
+    "PAPER_CONFIG_LABELS",
+    "build_engine",
+    "build_oram_config",
+    "build_laoram_config",
+    "ExperimentResult",
+    "ExperimentScale",
+    "run_configuration",
+    "compare_configurations",
+    "ascii_bar_chart",
+    "ascii_line_chart",
+]

@@ -1,0 +1,142 @@
+"""Named engine configurations matching the paper's notation.
+
+The evaluation compares seven configurations per workload (Fig. 7):
+``PathORAM`` (the baseline, equivalent to superblock size 1), ``Normal/S{2,4,8}``
+(LAORAM on a uniform-bucket tree) and ``Fat/S{2,4,8}`` (LAORAM on the
+fat tree).  This module turns those labels into engine instances, and also
+provides the additional engines used in the related-work comparisons
+(PrORAM static/dynamic, RingORAM, the insecure baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import LAORAMConfig
+from repro.core.laoram import LAORAMClient
+from repro.exceptions import ConfigurationError
+from repro.memory.accounting import TrafficCounter
+from repro.oram.base import ObliviousMemory
+from repro.oram.config import ORAMConfig
+from repro.oram.eviction import EvictionPolicy
+from repro.oram.insecure import InsecureMemory
+from repro.oram.path_oram import PathORAM
+from repro.oram.pr_oram import PrORAM, SuperblockMode
+from repro.oram.ring_oram import RingORAM
+
+#: Configuration labels used in the paper's figures, in plotting order.
+PAPER_CONFIG_LABELS: tuple[str, ...] = (
+    "PathORAM",
+    "Normal/S2",
+    "Normal/S4",
+    "Normal/S8",
+    "Fat/S2",
+    "Fat/S4",
+    "Fat/S8",
+)
+
+#: Additional engines available to the harness beyond the paper's main sweep.
+EXTRA_CONFIG_LABELS: tuple[str, ...] = (
+    "Insecure",
+    "RingORAM",
+    "PrORAM-static/S2",
+    "PrORAM-dynamic/S2",
+    "PrORAM-static/S4",
+    "PrORAM-dynamic/S4",
+)
+
+
+def build_oram_config(
+    num_blocks: int,
+    block_size_bytes: int = 128,
+    bucket_size: int = 4,
+    fat_tree: bool = False,
+    root_bucket_size: Optional[int] = None,
+    seed: int = 0,
+) -> ORAMConfig:
+    """Convenience constructor for the tree geometry used across experiments."""
+    return ORAMConfig(
+        num_blocks=num_blocks,
+        block_size_bytes=block_size_bytes,
+        bucket_size=bucket_size,
+        fat_tree=fat_tree,
+        root_bucket_size=root_bucket_size,
+        seed=seed,
+    )
+
+
+def build_laoram_config(
+    oram: ORAMConfig, superblock_size: int, fat_tree: bool
+) -> LAORAMConfig:
+    """LAORAM configuration on top of a given tree geometry."""
+    return LAORAMConfig(
+        oram=oram.with_overrides(fat_tree=fat_tree),
+        superblock_size=superblock_size,
+    )
+
+
+def parse_label(label: str) -> dict:
+    """Decompose a configuration label into its engine family and parameters."""
+    if label == "PathORAM":
+        return {"family": "pathoram"}
+    if label == "Insecure":
+        return {"family": "insecure"}
+    if label == "RingORAM":
+        return {"family": "ringoram"}
+    if label.startswith(("Normal/S", "Fat/S")):
+        tree, _, size = label.partition("/S")
+        return {
+            "family": "laoram",
+            "fat_tree": tree == "Fat",
+            "superblock_size": int(size),
+        }
+    if label.startswith("PrORAM-"):
+        variant, _, size = label[len("PrORAM-") :].partition("/S")
+        if variant not in ("static", "dynamic"):
+            raise ConfigurationError(f"unknown PrORAM variant in '{label}'")
+        return {
+            "family": "proram",
+            "mode": SuperblockMode(variant),
+            "superblock_size": int(size) if size else 2,
+        }
+    raise ConfigurationError(f"unknown configuration label '{label}'")
+
+
+def build_engine(
+    label: str,
+    oram_config: ORAMConfig,
+    eviction: Optional[EvictionPolicy] = None,
+    counter: Optional[TrafficCounter] = None,
+    observer=None,
+    seed: Optional[int] = None,
+) -> ObliviousMemory:
+    """Instantiate the engine named by ``label`` on the given tree geometry."""
+    parsed = parse_label(label)
+    config = oram_config if seed is None else oram_config.with_overrides(seed=seed)
+    family = parsed["family"]
+    if family == "insecure":
+        return InsecureMemory(config, counter=counter, observer=observer)
+    if family == "pathoram":
+        return PathORAM(
+            config, counter=counter, eviction=eviction, observer=observer
+        )
+    if family == "ringoram":
+        return RingORAM(config, counter=counter, observer=observer)
+    if family == "proram":
+        return PrORAM(
+            config,
+            superblock_size=parsed["superblock_size"],
+            mode=parsed["mode"],
+            counter=counter,
+            eviction=eviction,
+            observer=observer,
+        )
+    if family == "laoram":
+        laoram_config = LAORAMConfig(
+            oram=config.with_overrides(fat_tree=parsed["fat_tree"]),
+            superblock_size=parsed["superblock_size"],
+        )
+        return LAORAMClient(
+            laoram_config, counter=counter, eviction=eviction, observer=observer
+        )
+    raise ConfigurationError(f"unhandled configuration family '{family}'")

@@ -1,0 +1,77 @@
+"""Figure 8: stash growth of fat vs normal trees under superblock pressure.
+
+The paper disables background eviction and tracks raw stash occupancy over
+~12,500 accesses of the worst-case permutation stream for four
+configurations; the normal tree's stash grows several times faster than the
+fat tree's.  This module reproduces those stash-occupancy curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import LAORAMConfig
+from repro.core.laoram import LAORAMClient
+from repro.datasets.permutation import PermutationTraceGenerator
+from repro.experiments.scale import ExperimentScale, SMALL
+from repro.memory.accounting import TrafficCounter
+from repro.oram.config import ORAMConfig
+from repro.oram.eviction import EvictionPolicy
+
+#: Figure 8 configurations: label -> (superblock size, bucket size, fat root size).
+FIGURE8_CONFIGS: dict[str, tuple[int, int, int | None]] = {
+    "Normal-4": (4, 4, None),
+    "Fat-4": (4, 4, 8),
+    "Normal-8": (8, 4, None),
+    "Fat-8": (8, 4, 8),
+}
+
+
+@dataclass(frozen=True)
+class Figure8Result:
+    """Stash-occupancy histories for the four configurations."""
+
+    num_accesses: int
+    histories: dict[str, tuple[int, ...]]
+    final_occupancy: dict[str, int]
+
+    def growth_ratio(self, normal_label: str = "Normal-4", fat_label: str = "Fat-4") -> float:
+        """How much larger the normal tree's final stash is than the fat tree's."""
+        fat = max(1, self.final_occupancy[fat_label])
+        return self.final_occupancy[normal_label] / fat
+
+
+def run_figure8(
+    scale: ExperimentScale = SMALL,
+    configs: dict[str, tuple[int, int, int | None]] | None = None,
+    seed: int = 0,
+) -> Figure8Result:
+    """Reproduce the stash-growth comparison of Figure 8."""
+    configs = configs if configs is not None else FIGURE8_CONFIGS
+    trace = PermutationTraceGenerator(scale.num_blocks, seed=seed).generate(
+        scale.num_accesses
+    )
+    histories: dict[str, tuple[int, ...]] = {}
+    finals: dict[str, int] = {}
+    for offset, (label, (superblock, bucket, fat_root)) in enumerate(configs.items()):
+        oram_config = ORAMConfig(
+            num_blocks=scale.num_blocks,
+            block_size_bytes=scale.block_size_bytes,
+            bucket_size=bucket,
+            fat_tree=fat_root is not None,
+            root_bucket_size=fat_root,
+            background_eviction=False,
+            seed=seed + offset,
+        )
+        counter = TrafficCounter(record_stash_history=True)
+        client = LAORAMClient(
+            LAORAMConfig(oram=oram_config, superblock_size=superblock),
+            counter=counter,
+            eviction=EvictionPolicy.disabled(),
+        )
+        client.run_trace(trace.addresses)
+        histories[label] = tuple(counter.stash_history)
+        finals[label] = counter.stash_history[-1] if counter.stash_history else 0
+    return Figure8Result(
+        num_accesses=len(trace), histories=histories, final_occupancy=finals
+    )

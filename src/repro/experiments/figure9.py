@@ -1,0 +1,75 @@
+"""Figure 9: memory-traffic reduction of LAORAM on the Kaggle workload.
+
+The paper reports how many fewer bytes each configuration moves relative to
+PathORAM, together with the theoretical upper bounds: ``superblock_size`` for
+the normal tree and ``2(Z+1)/(3Z+1) * superblock_size`` for the fat tree
+(whose paths carry roughly 50% more bytes).  Background evictions push the
+measured reductions below the bounds, which is exactly what the figure shows
+for superblock sizes 4 and 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.registry import make_trace
+from repro.experiments.configs import PAPER_CONFIG_LABELS, build_oram_config, parse_label
+from repro.experiments.metrics import ExperimentResult
+from repro.experiments.runner import compare_configurations
+from repro.experiments.scale import ExperimentScale, SMALL
+
+
+def theoretical_traffic_bound(label: str, bucket_size: int = 4) -> float:
+    """Paper's upper bound on the traffic reduction of a configuration."""
+    parsed = parse_label(label)
+    if parsed["family"] == "pathoram":
+        return 1.0
+    superblock = parsed.get("superblock_size", 1)
+    if parsed.get("fat_tree"):
+        return 2.0 * (bucket_size + 1) / (3.0 * bucket_size + 1) * superblock
+    return float(superblock)
+
+
+@dataclass(frozen=True)
+class Figure9Result:
+    """Measured and theoretical traffic reductions per configuration."""
+
+    dataset: str
+    results: dict[str, ExperimentResult]
+    reductions: dict[str, float]
+    theoretical_bounds: dict[str, float]
+
+    def within_bound(self, label: str, tolerance: float = 1.05) -> bool:
+        """Whether the measured reduction respects the theoretical upper bound."""
+        return self.reductions[label] <= self.theoretical_bounds[label] * tolerance
+
+
+def run_figure9(
+    scale: ExperimentScale = SMALL,
+    dataset: str = "kaggle",
+    labels: tuple[str, ...] = PAPER_CONFIG_LABELS,
+    seed: int = 0,
+) -> Figure9Result:
+    """Reproduce the traffic-reduction comparison of Figure 9."""
+    trace = make_trace(dataset, scale.num_blocks, scale.num_accesses, seed=seed)
+    oram_config = build_oram_config(
+        num_blocks=scale.num_blocks,
+        block_size_bytes=scale.block_size_bytes,
+        seed=seed,
+    )
+    results = compare_configurations(labels, trace, oram_config, base_seed=seed)
+    baseline = results["PathORAM"]
+    reductions = {
+        label: result.traffic_reduction_over(baseline)
+        for label, result in results.items()
+    }
+    bounds = {
+        label: theoretical_traffic_bound(label, oram_config.bucket_size)
+        for label in labels
+    }
+    return Figure9Result(
+        dataset=trace.name,
+        results=results,
+        reductions=reductions,
+        theoretical_bounds=bounds,
+    )

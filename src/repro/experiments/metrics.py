@@ -1,0 +1,54 @@
+"""Result records produced by the experiment runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.memory.accounting import TrafficSnapshot
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of driving one engine configuration over one access trace."""
+
+    label: str
+    dataset: str
+    num_accesses: int
+    snapshot: TrafficSnapshot
+    simulated_time_s: float
+    server_memory_bytes: int
+    stash_history: tuple[int, ...] = ()
+
+    # ------------------------------------------------------------------
+    @property
+    def time_per_access_s(self) -> float:
+        """Average simulated latency per logical access."""
+        if self.num_accesses == 0:
+            return 0.0
+        return self.simulated_time_s / self.num_accesses
+
+    @property
+    def bytes_per_access(self) -> float:
+        """Average server bytes moved per logical access."""
+        if self.num_accesses == 0:
+            return 0.0
+        return self.snapshot.total_bytes / self.num_accesses
+
+    @property
+    def dummy_reads_per_access(self) -> float:
+        """Average dummy (background-eviction) reads per access (Table II)."""
+        return self.snapshot.dummy_reads_per_access
+
+    # ------------------------------------------------------------------
+    def speedup_over(self, baseline: "ExperimentResult") -> float:
+        """Speedup of this configuration relative to ``baseline`` (Fig. 7)."""
+        if self.time_per_access_s == 0:
+            raise ConfigurationError("cannot compute speedup with zero access time")
+        return baseline.time_per_access_s / self.time_per_access_s
+
+    def traffic_reduction_over(self, baseline: "ExperimentResult") -> float:
+        """Bytes-moved reduction factor relative to ``baseline`` (Fig. 9)."""
+        if self.bytes_per_access == 0:
+            raise ConfigurationError("cannot compute reduction with zero traffic")
+        return baseline.bytes_per_access / self.bytes_per_access

@@ -1,0 +1,67 @@
+"""Dependency-free ASCII charts for the evaluation harness.
+
+The paper presents its results as bar charts (speedups, traffic reduction)
+and line charts (stash growth).  Without a plotting dependency the harness
+renders the same data as ASCII, which is enough to eyeball the shape of a
+result directly in a terminal or CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def ascii_bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    unit: str = "x",
+) -> str:
+    """Horizontal bar chart, one bar per labelled value (Fig. 7/9 style)."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    peak = max(values.values())
+    if peak <= 0:
+        raise ValueError("values must contain a positive maximum")
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_line_chart(
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Overlayed line chart of one or more series (Fig. 8 style).
+
+    Each series is resampled to ``width`` columns; rows are occupancy
+    thresholds from the global maximum down to zero.  Series are drawn with
+    distinct marker characters listed in the legend.
+    """
+    if not series:
+        raise ValueError("series must be non-empty")
+    if any(len(values) == 0 for values in series.values()):
+        raise ValueError("every series must contain at least one point")
+    peak = max(max(values) for values in series.values())
+    peak = peak if peak > 0 else 1.0
+    markers = {label: marker for label, marker in zip(series, "*o+x@%")}
+    lines = [title] if title else []
+    for row in range(height, 0, -1):
+        threshold = peak * row / height
+        cells = []
+        for column in range(width):
+            cell = " "
+            for label, values in series.items():
+                index = min(len(values) - 1, int(column * len(values) / width))
+                if values[index] >= threshold:
+                    cell = markers[label]
+            cells.append(cell)
+        lines.append(f"{threshold:>10.0f} |" + "".join(cells))
+    lines.append(" " * 11 + "+" + "-" * width)
+    legend = "  ".join(f"{marker}={label}" for label, marker in markers.items())
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Experiment scale presets.
+
+The paper's embedding tables (8M-16M entries, up to 24 GB of tree) cannot be
+simulated at full size in pure Python within a benchmark's time budget, so the
+harness exposes scale presets.  The relative behaviour the paper reports —
+who wins, where the superblock-size sweet spot sits, how much the fat tree
+helps — is governed by bucket occupancy and superblock size rather than by
+the absolute tree height, so reduced scales preserve the shape of the
+results.  Table I (pure arithmetic) always uses the paper's full sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size parameters of a run of the evaluation harness.
+
+    Attributes:
+        name: Human-readable preset name.
+        num_blocks: Embedding rows in the protected table.
+        num_accesses: Length of the access trace driven through each engine.
+        block_size_bytes: Row payload size.
+        secondary_num_blocks: Table size used for the "16M" variants (the
+            paper evaluates two permutation/Gaussian table sizes).
+    """
+
+    name: str
+    num_blocks: int
+    num_accesses: int
+    block_size_bytes: int = 128
+    secondary_num_blocks: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 2:
+            raise ConfigurationError("num_blocks must be >= 2")
+        if self.num_accesses < 1:
+            raise ConfigurationError("num_accesses must be >= 1")
+        if self.block_size_bytes < 1:
+            raise ConfigurationError("block_size_bytes must be >= 1")
+
+    @property
+    def secondary_blocks(self) -> int:
+        """Size of the larger table variant (defaults to twice the base size)."""
+        return self.secondary_num_blocks or self.num_blocks * 2
+
+
+#: Fast preset used by the test suite.
+TINY = ExperimentScale(name="tiny", num_blocks=1 << 10, num_accesses=2_048)
+
+#: Default preset for pytest-benchmark runs.
+SMALL = ExperimentScale(name="small", num_blocks=1 << 12, num_accesses=8_192)
+
+#: Larger preset for more faithful (slower) runs.
+MEDIUM = ExperimentScale(name="medium", num_blocks=1 << 14, num_accesses=24_576)
+
+#: The largest preset that is still practical in pure Python.
+LARGE = ExperimentScale(name="large", num_blocks=1 << 16, num_accesses=65_536)
+
+_PRESETS = {scale.name: scale for scale in (TINY, SMALL, MEDIUM, LARGE)}
+
+
+def get_scale(name: str) -> ExperimentScale:
+    """Look up a preset by name (``tiny``, ``small``, ``medium``, ``large``)."""
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale '{name}'; available: {', '.join(sorted(_PRESETS))}"
+        ) from None

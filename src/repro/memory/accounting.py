@@ -1,0 +1,128 @@
+"""Traffic accounting for ORAM experiments.
+
+Every ORAM implementation in this package reports its activity through a
+:class:`TrafficCounter`.  The counters are what the paper's evaluation is
+built on: path reads/writes, dummy (background-eviction) reads, bytes moved,
+and stash occupancy over time (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TrafficSnapshot:
+    """Immutable copy of a :class:`TrafficCounter` at a point in time."""
+
+    logical_accesses: int
+    path_reads: int
+    path_writes: int
+    dummy_reads: int
+    buckets_read: int
+    buckets_written: int
+    bytes_read: int
+    bytes_written: int
+    stash_peak: int
+    background_evictions: int
+
+    @property
+    def total_paths_touched(self) -> int:
+        """Real plus dummy path reads (each dummy read also writes the path back)."""
+        return self.path_reads + self.dummy_reads
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes moved in both directions."""
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def dummy_reads_per_access(self) -> float:
+        """Average dummy reads per logical access (Table II metric)."""
+        if self.logical_accesses == 0:
+            return 0.0
+        return self.dummy_reads / self.logical_accesses
+
+    @property
+    def paths_per_access(self) -> float:
+        """Average real+dummy paths read per logical access."""
+        if self.logical_accesses == 0:
+            return 0.0
+        return self.total_paths_touched / self.logical_accesses
+
+
+@dataclass
+class TrafficCounter:
+    """Mutable accumulator of ORAM traffic statistics."""
+
+    logical_accesses: int = 0
+    path_reads: int = 0
+    path_writes: int = 0
+    dummy_reads: int = 0
+    buckets_read: int = 0
+    buckets_written: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    stash_peak: int = 0
+    background_evictions: int = 0
+    stash_history: list[int] = field(default_factory=list)
+    record_stash_history: bool = False
+
+    def record_logical_access(self, count: int = 1) -> None:
+        """Register ``count`` logical (application-level) block accesses."""
+        self.logical_accesses += count
+
+    def record_path_read(self, num_buckets: int, num_bytes: int, dummy: bool = False) -> None:
+        """Register one path read of ``num_buckets`` buckets / ``num_bytes`` bytes."""
+        if dummy:
+            self.dummy_reads += 1
+        else:
+            self.path_reads += 1
+        self.buckets_read += num_buckets
+        self.bytes_read += num_bytes
+
+    def record_path_write(self, num_buckets: int, num_bytes: int) -> None:
+        """Register one path write-back."""
+        self.path_writes += 1
+        self.buckets_written += num_buckets
+        self.bytes_written += num_bytes
+
+    def record_background_eviction(self) -> None:
+        """Register one background-eviction episode (may contain many dummy reads)."""
+        self.background_evictions += 1
+
+    def observe_stash(self, occupancy: int) -> None:
+        """Track stash occupancy, updating the running peak and optional history."""
+        if occupancy > self.stash_peak:
+            self.stash_peak = occupancy
+        if self.record_stash_history:
+            self.stash_history.append(occupancy)
+
+    def snapshot(self) -> TrafficSnapshot:
+        """Return an immutable snapshot of the current counters."""
+        return TrafficSnapshot(
+            logical_accesses=self.logical_accesses,
+            path_reads=self.path_reads,
+            path_writes=self.path_writes,
+            dummy_reads=self.dummy_reads,
+            buckets_read=self.buckets_read,
+            buckets_written=self.buckets_written,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            stash_peak=self.stash_peak,
+            background_evictions=self.background_evictions,
+        )
+
+    def reset(self) -> None:
+        """Zero every counter (history included)."""
+        self.logical_accesses = 0
+        self.path_reads = 0
+        self.path_writes = 0
+        self.dummy_reads = 0
+        self.buckets_read = 0
+        self.buckets_written = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.stash_peak = 0
+        self.background_evictions = 0
+        self.stash_history.clear()

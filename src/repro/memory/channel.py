@@ -1,0 +1,46 @@
+"""Client-server interconnect model (CPU DRAM <-> trainer GPU).
+
+In the paper the trainer GPU requests paths from the CPU server over PCIe.
+Each path request pays a fixed round-trip latency plus a transfer time at the
+link bandwidth.  The interconnect is what makes extra path fetches expensive,
+so it is modelled separately from the server DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class InterconnectModel:
+    """Latency/bandwidth parameters of the client-server link.
+
+    Attributes:
+        request_latency_us: Fixed round-trip cost of issuing one path request
+            (driver + DMA setup), independent of size.
+        bandwidth_gib_per_s: Link bandwidth (PCIe 3.0 x16 sustains ~12 GiB/s).
+    """
+
+    request_latency_us: float = 8.0
+    bandwidth_gib_per_s: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.request_latency_us < 0:
+            raise ConfigurationError("request_latency_us must be non-negative")
+        if self.bandwidth_gib_per_s <= 0:
+            raise ConfigurationError("bandwidth_gib_per_s must be positive")
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        """Link bandwidth in bytes per second."""
+        return self.bandwidth_gib_per_s * (1 << 30)
+
+    def transfer_time_s(self, num_requests: int, num_bytes: int) -> float:
+        """Time to serve ``num_requests`` requests moving ``num_bytes`` total bytes."""
+        if num_requests < 0 or num_bytes < 0:
+            raise ValueError("request and byte counts must be non-negative")
+        latency = num_requests * self.request_latency_us * 1e-6
+        streaming = num_bytes / self.bandwidth_bytes_per_s
+        return latency + streaming

@@ -1,0 +1,48 @@
+"""Analytic DDR4-like DRAM timing model for the ORAM server storage.
+
+The paper's server is a Xeon with 64 GB of DDR4.  We do not simulate DRAM at
+the command level; instead each bucket read/write is charged a row-activation
+latency plus a streaming transfer at the sustained channel bandwidth.  This
+captures the two quantities that determine PathORAM overhead: the number of
+bucket touches per access and the number of bytes moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DRAMModel:
+    """Timing parameters of the server-side memory.
+
+    Attributes:
+        row_access_latency_ns: Cost of activating/precharging a row for one
+            bucket touch (roughly tRC for DDR4-2400).
+        bandwidth_gib_per_s: Sustained sequential bandwidth of the memory
+            channel feeding the ORAM tree.
+    """
+
+    row_access_latency_ns: float = 45.0
+    bandwidth_gib_per_s: float = 17.0
+
+    def __post_init__(self) -> None:
+        if self.row_access_latency_ns < 0:
+            raise ConfigurationError("row_access_latency_ns must be non-negative")
+        if self.bandwidth_gib_per_s <= 0:
+            raise ConfigurationError("bandwidth_gib_per_s must be positive")
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        """Sustained bandwidth in bytes per second."""
+        return self.bandwidth_gib_per_s * (1 << 30)
+
+    def access_time_s(self, num_buckets: int, num_bytes: int) -> float:
+        """Time to touch ``num_buckets`` buckets moving ``num_bytes`` bytes."""
+        if num_buckets < 0 or num_bytes < 0:
+            raise ValueError("bucket and byte counts must be non-negative")
+        activation = num_buckets * self.row_access_latency_ns * 1e-9
+        streaming = num_bytes / self.bandwidth_bytes_per_s
+        return activation + streaming

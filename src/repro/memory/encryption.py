@@ -1,0 +1,71 @@
+"""Payload encryption for blocks stored on the untrusted server.
+
+The threat model assumes the *contents* of server memory are encrypted and
+only the *addresses* leak.  Real deployments would use AES-CTR/GCM; to stay
+dependency-free this module implements a counter-mode keystream built from
+SHA-256, which is sufficient to demonstrate that (a) the server never holds
+plaintext and (b) re-encryption on every write-back changes the ciphertext so
+an adversary cannot match blocks across accesses by content.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+
+
+class BlockCipher:
+    """Counter-mode keystream cipher keyed per ORAM instance.
+
+    Every encryption uses a fresh nonce, so encrypting the same plaintext
+    twice produces different ciphertexts (probabilistic encryption), which is
+    required for ORAM write-backs to be unlinkable.
+    """
+
+    NONCE_SIZE = 16
+
+    def __init__(self, key: bytes | None = None):
+        if key is None:
+            key = os.urandom(32)
+        if len(key) < 16:
+            raise ValueError("key must be at least 16 bytes")
+        self._key = bytes(key)
+        self._counter = 0
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt ``plaintext`` and return ``nonce || ciphertext``."""
+        nonce = self._next_nonce()
+        return nonce + self._xor_keystream(nonce, bytes(plaintext))
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Decrypt data previously produced by :meth:`encrypt`."""
+        if len(ciphertext) < self.NONCE_SIZE:
+            raise ValueError("ciphertext too short")
+        nonce = ciphertext[: self.NONCE_SIZE]
+        body = ciphertext[self.NONCE_SIZE :]
+        return self._xor_keystream(nonce, body)
+
+    def _next_nonce(self) -> bytes:
+        self._counter += 1
+        return struct.pack(">QQ", 0, self._counter)
+
+    def _xor_keystream(self, nonce: bytes, data: bytes) -> bytes:
+        out = bytearray(len(data))
+        block_index = 0
+        offset = 0
+        while offset < len(data):
+            stream = hashlib.sha256(
+                self._key + nonce + struct.pack(">Q", block_index)
+            ).digest()
+            chunk = data[offset : offset + len(stream)]
+            for i, byte in enumerate(chunk):
+                out[offset + i] = byte ^ stream[i]
+            offset += len(stream)
+            block_index += 1
+        return bytes(out)
+
+    @property
+    def encryptions_performed(self) -> int:
+        """Number of encryption operations performed (one per write-back)."""
+        return self._counter

@@ -1,0 +1,28 @@
+"""ORAM substrates: PathORAM, PrORAM, RingORAM and the insecure baseline."""
+
+from repro.oram.base import AccessOp, ObliviousMemory
+from repro.oram.config import ORAMConfig, FatTreePolicy
+from repro.oram.eviction import EvictionPolicy
+from repro.oram.insecure import InsecureMemory
+from repro.oram.path_oram import PathORAM
+from repro.oram.position_map import PositionMap
+from repro.oram.pr_oram import PrORAM, SuperblockMode
+from repro.oram.ring_oram import RingORAM
+from repro.oram.stash import Stash
+from repro.oram.tree import TreeStorage
+
+__all__ = [
+    "AccessOp",
+    "ObliviousMemory",
+    "ORAMConfig",
+    "FatTreePolicy",
+    "EvictionPolicy",
+    "InsecureMemory",
+    "PathORAM",
+    "PositionMap",
+    "PrORAM",
+    "SuperblockMode",
+    "RingORAM",
+    "Stash",
+    "TreeStorage",
+]

@@ -1,0 +1,63 @@
+"""Position map: the trusted mapping from block id to its assigned path."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import BlockNotFoundError, ConfigurationError
+
+
+class PositionMap:
+    """Maps every real block to the leaf (path) it is currently assigned to.
+
+    Stored client-side (GPU HBM in the paper); lookups are therefore not
+    visible to the adversary.  The map is a dense numpy array because block
+    ids are contiguous embedding-row indices.
+    """
+
+    def __init__(self, num_blocks: int, num_leaves: int, rng: np.random.Generator):
+        if num_blocks < 1:
+            raise ConfigurationError("num_blocks must be >= 1")
+        if num_leaves < 2:
+            raise ConfigurationError("num_leaves must be >= 2")
+        self._num_leaves = num_leaves
+        self._leaves = rng.integers(0, num_leaves, size=num_blocks, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return int(self._leaves.size)
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of distinct paths blocks can map to."""
+        return self._num_leaves
+
+    def get(self, block_id: int) -> int:
+        """Current leaf of ``block_id``."""
+        self._check(block_id)
+        return int(self._leaves[block_id])
+
+    def set(self, block_id: int, leaf: int) -> None:
+        """Reassign ``block_id`` to ``leaf``."""
+        self._check(block_id)
+        if not 0 <= leaf < self._num_leaves:
+            raise ConfigurationError(f"leaf {leaf} outside [0, {self._num_leaves})")
+        self._leaves[block_id] = leaf
+
+    def get_many(self, block_ids) -> np.ndarray:
+        """Vectorised lookup of several block ids."""
+        ids = np.asarray(block_ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self._leaves.size):
+            raise BlockNotFoundError("block id outside position map range")
+        return self._leaves[ids]
+
+    def as_array(self) -> np.ndarray:
+        """Copy of the full map (used by tests and diagnostics)."""
+        return self._leaves.copy()
+
+    def client_memory_bytes(self) -> int:
+        """Approximate client memory used by the map."""
+        return int(self._leaves.nbytes)
+
+    def _check(self, block_id: int) -> None:
+        if not 0 <= block_id < self._leaves.size:
+            raise BlockNotFoundError(f"block {block_id} not in position map")

@@ -1,0 +1,225 @@
+"""PrORAM — history-based superblock ORAM (Yu et al., ISCA'15).
+
+PrORAM extends PathORAM with *superblocks*: groups of address-adjacent data
+blocks that share a path, so one path fetch brings the whole group into the
+stash and the following accesses to group members become stash hits.
+
+Two variants from the paper are provided:
+
+* **static** superblocks: every aligned group of ``superblock_size``
+  consecutive addresses is always merged, and groups are co-located on a
+  shared path at setup;
+* **dynamic** superblocks: a per-group spatial-locality counter is increased
+  when different members of a group are accessed close together and decreased
+  otherwise; groups behave as superblocks only while their counter is above a
+  threshold.
+
+When a merged group is fetched, the partner blocks are *held* in the stash
+across the write-back so that imminent accesses to them are stash hits; this
+is the prefetch effect PrORAM's performance relies on.
+
+On the near-random embedding-table traces of the LAORAM paper (Fig. 2),
+dynamic PrORAM finds almost no mergeable locality and degrades to PathORAM,
+which is why the paper uses plain PathORAM as its baseline.  This
+implementation exists to reproduce that observation.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict, deque
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import BlockNotFoundError, ConfigurationError
+from repro.memory.accounting import TrafficCounter
+from repro.memory.block import Block
+from repro.memory.timing import TimingModel
+from repro.oram.base import AccessOp
+from repro.oram.config import ORAMConfig
+from repro.oram.eviction import EvictionPolicy
+from repro.oram.path_oram import PathORAM
+
+
+class SuperblockMode(enum.Enum):
+    """How PrORAM decides which adjacent blocks form a superblock."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+
+
+class PrORAM(PathORAM):
+    """PathORAM with history-based (PrORAM-style) superblocks."""
+
+    def __init__(
+        self,
+        config: ORAMConfig,
+        superblock_size: int = 2,
+        mode: SuperblockMode = SuperblockMode.DYNAMIC,
+        merge_threshold: int = 2,
+        history_window: int = 64,
+        timing: Optional[TimingModel] = None,
+        counter: Optional[TrafficCounter] = None,
+        eviction: Optional[EvictionPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
+        observer=None,
+    ):
+        if superblock_size < 1:
+            raise ConfigurationError("superblock_size must be >= 1")
+        if merge_threshold < 1:
+            raise ConfigurationError("merge_threshold must be >= 1")
+        if history_window < 1:
+            raise ConfigurationError("history_window must be >= 1")
+        super().__init__(
+            config,
+            timing=timing,
+            counter=counter,
+            eviction=eviction,
+            rng=rng,
+            observer=observer,
+        )
+        self.superblock_size = superblock_size
+        self.mode = mode
+        self.merge_threshold = merge_threshold
+        self.history_window = history_window
+        self._locality_counters: dict[int, int] = defaultdict(int)
+        self._merged_groups: set[int] = set()
+        self._recent_blocks: deque[int] = deque(maxlen=history_window)
+        if mode is SuperblockMode.STATIC and superblock_size > 1:
+            self._merged_groups = set(range(self._num_groups()))
+            self._colocate_groups()
+
+    # ------------------------------------------------------------------
+    # Superblock bookkeeping
+    # ------------------------------------------------------------------
+    def _num_groups(self) -> int:
+        return -(-self.config.num_blocks // self.superblock_size)
+
+    def group_of(self, block_id: int) -> int:
+        """Aligned superblock group an address belongs to."""
+        return block_id // self.superblock_size
+
+    def group_members(self, group: int) -> list[int]:
+        """Block ids belonging to ``group`` (the last group may be short)."""
+        start = group * self.superblock_size
+        end = min(start + self.superblock_size, self.config.num_blocks)
+        return list(range(start, end))
+
+    def is_merged(self, group: int) -> bool:
+        """Whether ``group`` currently behaves as one superblock."""
+        return group in self._merged_groups
+
+    def _colocate_groups(self) -> None:
+        """Trusted-setup relayout placing each group on one shared path."""
+        for group in range(self._num_groups()):
+            shared_leaf = int(self.rng.integers(0, self.config.num_leaves))
+            for member in self.group_members(group):
+                self.position_map.set(member, shared_leaf)
+        blocks = list(self.tree.iter_blocks()) + [
+            self.stash.pop(block_id) for block_id in self.stash.block_ids
+        ]
+        self.tree = type(self.tree)(
+            depth=self.config.depth,
+            bucket_capacities=self.config.bucket_capacities(),
+            block_size_bytes=self.config.block_size_bytes,
+            metadata_bytes_per_block=self.config.metadata_bytes_per_block,
+        )
+        self.stash.clear()
+        for block in blocks:
+            if block is None:
+                continue
+            block.leaf = self.position_map.get(block.block_id)
+            if not self.tree.try_place_on_path(block):
+                self.stash.add(block)
+
+    def _update_locality(self, block_id: int) -> None:
+        """Dynamic-mode counter update based on recently accessed blocks."""
+        if self.mode is not SuperblockMode.DYNAMIC or self.superblock_size == 1:
+            return
+        group = self.group_of(block_id)
+        partners_recent = any(
+            self.group_of(recent) == group and recent != block_id
+            for recent in self._recent_blocks
+        )
+        if partners_recent:
+            self._locality_counters[group] = min(
+                self._locality_counters[group] + 1, 2 * self.merge_threshold
+            )
+        elif self._locality_counters[group] > 0:
+            self._locality_counters[group] -= 1
+        self._recent_blocks.append(block_id)
+        if self._locality_counters[group] >= self.merge_threshold:
+            self._merged_groups.add(group)
+        else:
+            self._merged_groups.discard(group)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        block_id: int,
+        op: AccessOp = AccessOp.READ,
+        new_payload: Optional[object] = None,
+    ) -> Optional[object]:
+        """Access ``block_id``, co-locating its superblock partners when merged."""
+        self._check_block_id(block_id)
+        group = self.group_of(block_id)
+        self._update_locality(block_id)
+
+        if not self.is_merged(group) or self.superblock_size == 1:
+            return super().access(block_id, op, new_payload)
+
+        self.counter.record_logical_access()
+        self.timing.charge_client_overhead()
+
+        block = self.stash.get(block_id)
+        read_leaf: Optional[int] = None
+        if block is None:
+            read_leaf = self.position_map.get(block_id)
+            self._read_path_into_stash(read_leaf, dummy=False)
+            block = self.stash.get(block_id)
+            if block is None:
+                raise BlockNotFoundError(
+                    f"block {block_id} missing from both stash and its path"
+                )
+        else:
+            self._stash_hits += 1
+        payload = self._serve(block, op, new_payload)
+
+        # All group members currently resident in the stash are remapped to a
+        # single fresh path so they travel together from now on.
+        shared_leaf = int(self.rng.integers(0, self.config.num_leaves))
+        members = self.group_members(group)
+        for member in members:
+            member_block = self.stash.get(member)
+            if member_block is not None:
+                member_block.leaf = shared_leaf
+                self.position_map.set(member, shared_leaf)
+
+        if read_leaf is not None:
+            # Hold the just-fetched partners in the stash across the
+            # write-back: imminent accesses to them become stash hits, which
+            # is where PrORAM's path-read savings come from.
+            held: list[Block] = []
+            for member in members:
+                if member == block_id:
+                    continue
+                member_block = self.stash.pop(member)
+                if member_block is not None:
+                    held.append(member_block)
+            self._write_back(read_leaf)
+            for member_block in held:
+                self.stash.add(member_block)
+        self._maybe_background_evict()
+        self.counter.observe_stash(len(self.stash))
+        return payload
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def merged_group_count(self) -> int:
+        """Number of groups currently treated as superblocks."""
+        return len(self._merged_groups)

@@ -1,0 +1,50 @@
+"""Greedy write-back planning shared by PathORAM, RingORAM and LAORAM.
+
+The classic PathORAM eviction rule: after a path has been read, every stash
+block whose assigned path intersects the accessed path may be written back,
+and blocks are pushed as deep as possible.  Unlike the textbook description,
+this planner is *occupancy aware*: it only uses the free slots a bucket
+actually has.  That matters for LAORAM, which can read several paths before
+writing them back, so later write-backs see buckets that earlier write-backs
+already refilled.
+"""
+
+from __future__ import annotations
+
+from repro.memory.block import Block
+from repro.oram.stash import Stash
+from repro.oram.tree import TreeStorage
+from repro.utils.bits import common_level
+
+
+def plan_greedy_write_back(
+    tree: TreeStorage, stash: Stash, leaf: int
+) -> dict[int, list[Block]]:
+    """Choose stash blocks to write onto the path to ``leaf``.
+
+    Returns a mapping ``level -> blocks``; chosen blocks are removed from the
+    stash.  A block may be placed at ``level`` only if its assigned path and
+    the accessed path share that level (the path-prefix invariant), and only
+    if the target bucket still has a free slot.
+    """
+    depth = tree.depth
+    by_level: list[list[int]] = [[] for _ in range(depth + 1)]
+    for block in stash:
+        level = common_level(block.leaf, leaf, depth)
+        by_level[level].append(block.block_id)
+
+    placement: dict[int, list[Block]] = {}
+    pool: list[int] = []
+    for level in range(depth, -1, -1):
+        pool.extend(by_level[level])
+        free = tree.bucket(level, leaf).free_slots
+        if free <= 0:
+            continue
+        chosen: list[Block] = []
+        while pool and len(chosen) < free:
+            block = stash.pop(pool.pop())
+            if block is not None:
+                chosen.append(block)
+        if chosen:
+            placement[level] = chosen
+    return placement

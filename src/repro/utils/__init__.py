@@ -1,0 +1,49 @@
+"""Shared utilities: tree index math, RNG helpers, statistics and units."""
+
+from repro.utils.bits import (
+    common_level,
+    is_power_of_two,
+    node_index,
+    nodes_at_level,
+    num_leaves,
+    num_nodes,
+    path_node_indices,
+    required_depth,
+)
+from repro.utils.rng import SeedSequenceFactory, make_rng, spawn_rngs
+from repro.utils.stats import (
+    chi_square_uniformity,
+    empirical_entropy,
+    mutual_information,
+    normalized_histogram,
+)
+from repro.utils.units import (
+    GiB,
+    KiB,
+    MiB,
+    format_bytes,
+    format_duration,
+)
+
+__all__ = [
+    "common_level",
+    "is_power_of_two",
+    "node_index",
+    "nodes_at_level",
+    "num_leaves",
+    "num_nodes",
+    "path_node_indices",
+    "required_depth",
+    "SeedSequenceFactory",
+    "make_rng",
+    "spawn_rngs",
+    "chi_square_uniformity",
+    "empirical_entropy",
+    "mutual_information",
+    "normalized_histogram",
+    "GiB",
+    "KiB",
+    "MiB",
+    "format_bytes",
+    "format_duration",
+]

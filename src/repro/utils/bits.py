@@ -1,0 +1,91 @@
+"""Index arithmetic for complete binary trees used by Path-ORAM style storage.
+
+The ORAM tree has levels ``0 .. depth`` where level 0 is the root and level
+``depth`` holds the leaves.  There are ``2**depth`` leaves, labelled
+``0 .. 2**depth - 1`` from left to right; a *path* is identified by its leaf
+label.  Nodes are stored in a flat array in breadth-first order, so the node
+at ``level`` on the path to ``leaf`` has index::
+
+    (2**level - 1) + (leaf >> (depth - level))
+
+These helpers are deliberately free functions (no class state) because they
+are called in the inner loop of every ORAM access.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def required_depth(num_blocks: int) -> int:
+    """Return the tree depth (leaf level) used for ``num_blocks`` blocks.
+
+    Following the original PathORAM construction the tree has
+    ``2**ceil(log2(num_blocks))`` leaves, i.e. at least one leaf per block.
+    A single block still gets a tree of depth 1 so that there are at least
+    two distinct paths to randomise over.
+    """
+    if num_blocks <= 0:
+        raise ConfigurationError("num_blocks must be positive, got %r" % (num_blocks,))
+    depth = max(1, (num_blocks - 1).bit_length())
+    return depth
+
+
+def num_leaves(depth: int) -> int:
+    """Number of leaves of a tree with leaf level ``depth``."""
+    _check_depth(depth)
+    return 1 << depth
+
+
+def num_nodes(depth: int) -> int:
+    """Total number of nodes (buckets) of a tree with leaf level ``depth``."""
+    _check_depth(depth)
+    return (1 << (depth + 1)) - 1
+
+
+def nodes_at_level(level: int) -> int:
+    """Number of nodes at ``level`` (root is level 0)."""
+    if level < 0:
+        raise ConfigurationError("level must be non-negative, got %r" % (level,))
+    return 1 << level
+
+
+def node_index(level: int, leaf: int, depth: int) -> int:
+    """Breadth-first index of the node at ``level`` on the path to ``leaf``."""
+    _check_depth(depth)
+    if not 0 <= level <= depth:
+        raise ConfigurationError(f"level {level} outside [0, {depth}]")
+    if not 0 <= leaf < (1 << depth):
+        raise ConfigurationError(f"leaf {leaf} outside [0, {1 << depth})")
+    return ((1 << level) - 1) + (leaf >> (depth - level))
+
+
+def path_node_indices(leaf: int, depth: int) -> list[int]:
+    """Breadth-first indices of every node from the root down to ``leaf``."""
+    return [node_index(level, leaf, depth) for level in range(depth + 1)]
+
+
+def common_level(leaf_a: int, leaf_b: int, depth: int) -> int:
+    """Deepest level shared by the paths to ``leaf_a`` and ``leaf_b``.
+
+    Two identical leaves share the whole path (returns ``depth``); two leaves
+    that diverge immediately below the root share only level 0.
+    """
+    _check_depth(depth)
+    for leaf in (leaf_a, leaf_b):
+        if not 0 <= leaf < (1 << depth):
+            raise ConfigurationError(f"leaf {leaf} outside [0, {1 << depth})")
+    xor = leaf_a ^ leaf_b
+    if xor == 0:
+        return depth
+    return depth - xor.bit_length()
+
+
+def _check_depth(depth: int) -> None:
+    if depth < 1:
+        raise ConfigurationError("tree depth must be >= 1, got %r" % (depth,))

@@ -1,0 +1,48 @@
+"""Shared fixtures for the LAORAM reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import LAORAMConfig
+from repro.core.laoram import LAORAMClient
+from repro.datasets.permutation import PermutationTraceGenerator
+from repro.oram.config import ORAMConfig
+from repro.oram.path_oram import PathORAM
+
+
+@pytest.fixture
+def small_config() -> ORAMConfig:
+    """A small tree: 256 blocks of 64 bytes, bucket size 4."""
+    return ORAMConfig(num_blocks=256, block_size_bytes=64, bucket_size=4, seed=7)
+
+
+@pytest.fixture
+def tiny_config() -> ORAMConfig:
+    """A very small tree used where many engines are built in one test."""
+    return ORAMConfig(num_blocks=64, block_size_bytes=32, bucket_size=4, seed=11)
+
+
+@pytest.fixture
+def small_path_oram(small_config) -> PathORAM:
+    """PathORAM over the small tree."""
+    return PathORAM(small_config)
+
+
+@pytest.fixture
+def small_laoram(small_config) -> LAORAMClient:
+    """LAORAM client (superblock 4, normal tree) over the small tree."""
+    return LAORAMClient(LAORAMConfig(oram=small_config, superblock_size=4))
+
+
+@pytest.fixture
+def permutation_trace():
+    """Two-epoch permutation trace over 256 blocks."""
+    return PermutationTraceGenerator(256, seed=3).generate(512)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Seeded generator for test-local randomness."""
+    return np.random.default_rng(1234)

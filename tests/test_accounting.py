@@ -1,0 +1,95 @@
+"""Tests for the traffic counters the evaluation metrics are built on."""
+
+import pytest
+
+from repro.memory.accounting import TrafficCounter
+
+
+class TestTrafficCounter:
+    def test_path_read_accumulates(self):
+        counter = TrafficCounter()
+        counter.record_path_read(10, 5120)
+        counter.record_path_read(10, 5120)
+        snap = counter.snapshot()
+        assert snap.path_reads == 2
+        assert snap.buckets_read == 20
+        assert snap.bytes_read == 10240
+
+    def test_dummy_reads_are_counted_separately(self):
+        counter = TrafficCounter()
+        counter.record_path_read(10, 5120, dummy=True)
+        counter.record_path_read(10, 5120, dummy=False)
+        snap = counter.snapshot()
+        assert snap.dummy_reads == 1
+        assert snap.path_reads == 1
+        assert snap.total_paths_touched == 2
+
+    def test_path_write(self):
+        counter = TrafficCounter()
+        counter.record_path_write(8, 4096)
+        snap = counter.snapshot()
+        assert snap.path_writes == 1
+        assert snap.bytes_written == 4096
+
+    def test_logical_access_batching(self):
+        counter = TrafficCounter()
+        counter.record_logical_access(4)
+        counter.record_logical_access()
+        assert counter.snapshot().logical_accesses == 5
+
+    def test_dummy_reads_per_access(self):
+        counter = TrafficCounter()
+        counter.record_logical_access(10)
+        for _ in range(5):
+            counter.record_path_read(10, 100, dummy=True)
+        assert counter.snapshot().dummy_reads_per_access == pytest.approx(0.5)
+
+    def test_paths_per_access(self):
+        counter = TrafficCounter()
+        counter.record_logical_access(4)
+        counter.record_path_read(10, 100)
+        counter.record_path_read(10, 100, dummy=True)
+        assert counter.snapshot().paths_per_access == pytest.approx(0.5)
+
+    def test_zero_access_ratios_are_zero(self):
+        snap = TrafficCounter().snapshot()
+        assert snap.dummy_reads_per_access == 0.0
+        assert snap.paths_per_access == 0.0
+
+    def test_stash_peak_tracking(self):
+        counter = TrafficCounter()
+        counter.observe_stash(10)
+        counter.observe_stash(50)
+        counter.observe_stash(20)
+        assert counter.snapshot().stash_peak == 50
+
+    def test_stash_history_only_when_enabled(self):
+        counter = TrafficCounter()
+        counter.observe_stash(3)
+        assert counter.stash_history == []
+        counter.record_stash_history = True
+        counter.observe_stash(4)
+        assert counter.stash_history == [4]
+
+    def test_background_evictions(self):
+        counter = TrafficCounter()
+        counter.record_background_eviction()
+        assert counter.snapshot().background_evictions == 1
+
+    def test_total_bytes(self):
+        counter = TrafficCounter()
+        counter.record_path_read(1, 100)
+        counter.record_path_write(1, 150)
+        assert counter.snapshot().total_bytes == 250
+
+    def test_reset_clears_everything(self):
+        counter = TrafficCounter(record_stash_history=True)
+        counter.record_logical_access()
+        counter.record_path_read(1, 10)
+        counter.observe_stash(7)
+        counter.reset()
+        snap = counter.snapshot()
+        assert snap.logical_accesses == 0
+        assert snap.path_reads == 0
+        assert snap.stash_peak == 0
+        assert counter.stash_history == []

@@ -1,0 +1,136 @@
+"""Tests for the bucket, stash and position-map building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BlockNotFoundError, ConfigurationError, StashOverflowError
+from repro.memory.block import Block
+from repro.oram.bucket import Bucket
+from repro.oram.position_map import PositionMap
+from repro.oram.stash import Stash
+
+
+class TestBucket:
+    def test_capacity_enforced(self):
+        bucket = Bucket(capacity=2)
+        bucket.add(Block(0, 0))
+        bucket.add(Block(1, 0))
+        assert not bucket.has_space()
+        with pytest.raises(ValueError):
+            bucket.add(Block(2, 0))
+
+    def test_free_slots(self):
+        bucket = Bucket(capacity=3)
+        bucket.add(Block(0, 0))
+        assert bucket.free_slots == 2
+
+    def test_pop_all_empties_bucket(self):
+        bucket = Bucket(capacity=3)
+        bucket.extend([Block(0, 0), Block(1, 0)])
+        blocks = bucket.pop_all()
+        assert len(blocks) == 2
+        assert len(bucket) == 0
+
+    def test_remove_specific_block(self):
+        bucket = Bucket(capacity=3)
+        bucket.extend([Block(0, 0), Block(1, 0)])
+        removed = bucket.remove(1)
+        assert removed.block_id == 1
+        assert bucket.remove(1) is None
+
+    def test_find_without_removing(self):
+        bucket = Bucket(capacity=2)
+        bucket.add(Block(7, 0))
+        assert bucket.find(7).block_id == 7
+        assert len(bucket) == 1
+        assert bucket.find(8) is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Bucket(capacity=0)
+
+
+class TestStash:
+    def test_add_and_pop(self):
+        stash = Stash()
+        stash.add(Block(3, 1))
+        assert 3 in stash
+        assert stash.pop(3).block_id == 3
+        assert 3 not in stash
+
+    def test_get_does_not_remove(self):
+        stash = Stash()
+        stash.add(Block(3, 1))
+        assert stash.get(3) is not None
+        assert len(stash) == 1
+
+    def test_duplicate_add_replaces(self):
+        stash = Stash()
+        stash.add(Block(3, 1, payload=b"a"))
+        stash.add(Block(3, 2, payload=b"b"))
+        assert len(stash) == 1
+        assert stash.get(3).payload == b"b"
+
+    def test_capacity_overflow_raises(self):
+        stash = Stash(capacity=2)
+        stash.add(Block(0, 0))
+        stash.add(Block(1, 0))
+        with pytest.raises(StashOverflowError):
+            stash.add(Block(2, 0))
+
+    def test_replacing_existing_block_does_not_overflow(self):
+        stash = Stash(capacity=1)
+        stash.add(Block(0, 0))
+        stash.add(Block(0, 5))
+        assert stash.get(0).leaf == 5
+
+    def test_block_ids_and_iteration(self):
+        stash = Stash()
+        for block_id in (5, 9, 2):
+            stash.add(Block(block_id, 0))
+        assert sorted(stash.block_ids) == [2, 5, 9]
+        assert sorted(block.block_id for block in stash) == [2, 5, 9]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Stash(capacity=0)
+
+
+class TestPositionMap:
+    def test_initial_leaves_in_range(self):
+        rng = np.random.default_rng(0)
+        pmap = PositionMap(num_blocks=100, num_leaves=16, rng=rng)
+        leaves = pmap.as_array()
+        assert leaves.min() >= 0
+        assert leaves.max() < 16
+
+    def test_set_and_get(self):
+        pmap = PositionMap(10, 8, np.random.default_rng(0))
+        pmap.set(3, 5)
+        assert pmap.get(3) == 5
+
+    def test_get_many_vectorised(self):
+        pmap = PositionMap(10, 8, np.random.default_rng(0))
+        many = pmap.get_many([0, 1, 2])
+        assert many.shape == (3,)
+
+    def test_out_of_range_block_rejected(self):
+        pmap = PositionMap(10, 8, np.random.default_rng(0))
+        with pytest.raises(BlockNotFoundError):
+            pmap.get(10)
+        with pytest.raises(BlockNotFoundError):
+            pmap.get_many([0, 99])
+
+    def test_out_of_range_leaf_rejected(self):
+        pmap = PositionMap(10, 8, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            pmap.set(0, 8)
+
+    def test_initial_distribution_is_roughly_uniform(self):
+        pmap = PositionMap(20000, 16, np.random.default_rng(0))
+        counts = np.bincount(pmap.as_array(), minlength=16)
+        assert counts.min() > 1000
+
+    def test_client_memory_reported(self):
+        pmap = PositionMap(1000, 16, np.random.default_rng(0))
+        assert pmap.client_memory_bytes() == 8000

@@ -1,0 +1,68 @@
+"""Tests for LAORAMConfig and the two-stage pipeline model."""
+
+import pytest
+
+from repro.core.config import LAORAMConfig
+from repro.core.pipeline import TrainingPipeline
+from repro.exceptions import ConfigurationError
+from repro.oram.config import ORAMConfig
+
+
+class TestLAORAMConfig:
+    def test_describe_notation(self):
+        oram = ORAMConfig(num_blocks=64)
+        assert LAORAMConfig(oram=oram, superblock_size=2).describe() == "Normal/S2"
+        fat = ORAMConfig(num_blocks=64, fat_tree=True)
+        assert LAORAMConfig(oram=fat, superblock_size=8).describe() == "Fat/S8"
+
+    def test_degenerate_pathoram(self):
+        config = LAORAMConfig(oram=ORAMConfig(num_blocks=64), superblock_size=1)
+        assert config.is_degenerate_pathoram
+
+    def test_invalid_superblock_size(self):
+        with pytest.raises(ConfigurationError):
+            LAORAMConfig(oram=ORAMConfig(num_blocks=64), superblock_size=0)
+
+    def test_lookahead_window_must_cover_a_superblock(self):
+        with pytest.raises(ConfigurationError):
+            LAORAMConfig(
+                oram=ORAMConfig(num_blocks=64), superblock_size=8, lookahead_accesses=4
+            )
+
+
+class TestTrainingPipeline:
+    def test_preprocessing_off_critical_path_by_default(self):
+        """Section VIII-A: preprocessing is much faster than training."""
+        pipeline = TrainingPipeline()
+        estimate = pipeline.estimate(num_samples=10_000)
+        assert not estimate.preprocessing_on_critical_path
+        assert estimate.overhead_fraction < 0.01
+
+    def test_slow_preprocessing_becomes_bottleneck(self):
+        pipeline = TrainingPipeline(
+            preprocess_time_per_sample_s=1e-2, train_time_per_sample_s=1e-4
+        )
+        estimate = pipeline.estimate(num_samples=1_000)
+        assert estimate.preprocessing_on_critical_path
+        assert estimate.total_time_s > estimate.training_time_s
+
+    def test_total_time_at_least_training_time(self):
+        pipeline = TrainingPipeline()
+        estimate = pipeline.estimate(num_samples=5_000)
+        assert estimate.total_time_s >= estimate.training_time_s
+
+    def test_zero_samples(self):
+        estimate = TrainingPipeline().estimate(0)
+        assert estimate.total_time_s == 0.0
+
+    def test_crossover_point(self):
+        pipeline = TrainingPipeline(train_time_per_sample_s=2e-4)
+        assert pipeline.crossover_preprocess_time_s() == pytest.approx(2e-4)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrainingPipeline(batch_size=0)
+        with pytest.raises(ConfigurationError):
+            TrainingPipeline(preprocess_time_per_sample_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            TrainingPipeline().estimate(-1)

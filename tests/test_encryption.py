@@ -1,0 +1,60 @@
+"""Tests for the counter-mode block cipher protecting server contents."""
+
+import pytest
+
+from repro.memory.encryption import BlockCipher
+
+
+class TestBlockCipher:
+    def test_round_trip(self):
+        cipher = BlockCipher(key=b"0" * 32)
+        plaintext = b"embedding row payload" * 10
+        assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+    def test_ciphertext_differs_from_plaintext(self):
+        cipher = BlockCipher(key=b"0" * 32)
+        plaintext = b"x" * 128
+        ciphertext = cipher.encrypt(plaintext)
+        assert plaintext not in ciphertext
+
+    def test_probabilistic_encryption(self):
+        """Re-encrypting the same payload must produce different ciphertexts."""
+        cipher = BlockCipher(key=b"0" * 32)
+        plaintext = b"same payload"
+        assert cipher.encrypt(plaintext) != cipher.encrypt(plaintext)
+
+    def test_different_keys_produce_different_ciphertexts(self):
+        a = BlockCipher(key=b"a" * 32)
+        b = BlockCipher(key=b"b" * 32)
+        plaintext = b"payload"
+        assert a.encrypt(plaintext)[16:] != b.encrypt(plaintext)[16:]
+
+    def test_wrong_key_does_not_decrypt(self):
+        a = BlockCipher(key=b"a" * 32)
+        b = BlockCipher(key=b"b" * 32)
+        ciphertext = a.encrypt(b"secret")
+        assert b.decrypt(ciphertext) != b"secret"
+
+    def test_empty_payload_round_trip(self):
+        cipher = BlockCipher(key=b"k" * 32)
+        assert cipher.decrypt(cipher.encrypt(b"")) == b""
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ValueError):
+            BlockCipher(key=b"short")
+
+    def test_truncated_ciphertext_rejected(self):
+        cipher = BlockCipher(key=b"k" * 32)
+        with pytest.raises(ValueError):
+            cipher.decrypt(b"tooshort")
+
+    def test_encryption_counter_increments(self):
+        cipher = BlockCipher(key=b"k" * 32)
+        cipher.encrypt(b"a")
+        cipher.encrypt(b"b")
+        assert cipher.encryptions_performed == 2
+
+    def test_random_key_round_trip(self):
+        cipher = BlockCipher()
+        payload = bytes(range(256))
+        assert cipher.decrypt(cipher.encrypt(payload)) == payload

@@ -1,0 +1,42 @@
+"""Tests for the background-eviction policy."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.oram.eviction import EvictionPolicy
+
+
+class TestEvictionPolicy:
+    def test_triggers_above_threshold(self):
+        policy = EvictionPolicy(trigger_threshold=100, drain_target=10)
+        assert policy.should_trigger(101)
+        assert not policy.should_trigger(100)
+
+    def test_disabled_policy_never_triggers(self):
+        policy = EvictionPolicy.disabled()
+        assert not policy.should_trigger(10**6)
+        assert not policy.should_continue(10**6, 0)
+
+    def test_continues_until_drain_target(self):
+        policy = EvictionPolicy(trigger_threshold=100, drain_target=10)
+        assert policy.should_continue(50, dummy_reads_so_far=3)
+        assert not policy.should_continue(10, dummy_reads_so_far=3)
+
+    def test_episode_dummy_read_cap(self):
+        policy = EvictionPolicy(
+            trigger_threshold=100, drain_target=10, max_dummy_reads_per_episode=5
+        )
+        assert not policy.should_continue(50, dummy_reads_so_far=5)
+
+    def test_paper_default_matches_section_viii(self):
+        policy = EvictionPolicy.paper_default()
+        assert policy.trigger_threshold == 500
+        assert policy.drain_target == 50
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EvictionPolicy(trigger_threshold=10, drain_target=20)
+        with pytest.raises(ConfigurationError):
+            EvictionPolicy(trigger_threshold=0)
+        with pytest.raises(ConfigurationError):
+            EvictionPolicy(max_dummy_reads_per_episode=0)

@@ -1,0 +1,149 @@
+"""Reproduction checks: every table/figure module produces the paper's shape.
+
+These run at the tiny scale so the whole file stays fast; the benchmark
+harness repeats them at larger scales.
+"""
+
+import pytest
+
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure7 import SUBFIGURES, run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import run_figure9, theoretical_traffic_bound
+from repro.experiments.memory_neutral import run_memory_neutral
+from repro.experiments.ring_comparison import run_ring_comparison
+from repro.experiments.scale import ExperimentScale, TINY
+from repro.experiments.table1 import TABLE1_WORKLOADS, run_table1
+from repro.experiments.table2 import run_table2
+from repro.utils.units import GiB
+
+_FAST = ExperimentScale(name="test", num_blocks=512, num_accesses=2048)
+
+
+class TestFigure2:
+    def test_random_bulk_plus_hot_band(self):
+        result = run_figure2(num_accesses=5000, num_blocks=200_000, seed=1)
+        assert result.looks_random_with_hot_band
+        assert len(result.indices) == 5000
+
+
+class TestFigure7:
+    def test_all_subfigures_are_defined(self):
+        assert set(SUBFIGURES) == {"7a", "7b", "7c", "7d", "7e", "7f"}
+
+    def test_kaggle_laoram_beats_pathoram(self):
+        result = run_figure7("7e", _FAST, seed=2)
+        assert result.speedups["PathORAM"] == pytest.approx(1.0)
+        assert result.speedups["Normal/S4"] > 1.5
+        assert result.best_speedup > 2.0
+
+    def test_xnli_shows_largest_speedups(self):
+        kaggle = run_figure7("7e", _FAST, seed=3)
+        xnli = run_figure7("7f", _FAST, seed=3)
+        assert xnli.best_speedup >= kaggle.best_speedup * 0.8
+
+    def test_permutation_speedups_are_modest(self):
+        """The worst-case dataset gains less than the ML workloads (Fig. 7a vs 7e)."""
+        permutation = run_figure7("7a", _FAST, seed=4)
+        kaggle = run_figure7("7e", _FAST, seed=4)
+        assert permutation.speedups["Normal/S8"] <= kaggle.speedups["Normal/S8"] * 1.2
+
+    def test_unknown_subfigure_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_figure7("7z", TINY)
+
+
+class TestFigure8:
+    def test_normal_tree_stash_grows_faster_than_fat(self):
+        result = run_figure8(_FAST, seed=5)
+        assert result.final_occupancy["Normal-4"] > result.final_occupancy["Fat-4"]
+        assert result.final_occupancy["Normal-8"] > result.final_occupancy["Fat-8"]
+
+    def test_histories_are_recorded_per_access(self):
+        result = run_figure8(ExperimentScale(name="t", num_blocks=256, num_accesses=512))
+        for history in result.histories.values():
+            assert len(history) > 0
+
+
+class TestFigure9:
+    def test_normal_s2_reaches_its_theoretical_bound(self):
+        """Paper: Normal/S2's measured reduction matches the bound of 2x."""
+        result = run_figure9(_FAST, seed=6)
+        assert result.reductions["Normal/S2"] == pytest.approx(2.0, rel=0.15)
+
+    def test_reductions_respect_bounds(self):
+        result = run_figure9(_FAST, seed=6)
+        for label in result.reductions:
+            assert result.within_bound(label, tolerance=1.10)
+
+    def test_theoretical_bounds(self):
+        assert theoretical_traffic_bound("Normal/S4") == pytest.approx(4.0)
+        assert theoretical_traffic_bound("Fat/S4", bucket_size=4) == pytest.approx(
+            2 * 5 / 13 * 4
+        )
+        assert theoretical_traffic_bound("PathORAM") == 1.0
+
+
+class TestTable1:
+    def test_paper_workloads_present(self):
+        assert set(TABLE1_WORKLOADS) == {"8M", "16M", "Kaggle", "XNLI"}
+
+    def test_8m_row_matches_paper(self):
+        rows = {row.workload: row for row in run_table1()}
+        row = rows["8M"]
+        assert row.insecure_bytes == 1 * GiB
+        assert row.pathoram_bytes == pytest.approx(8 * GiB, rel=1e-6)
+        assert row.laoram_bytes == row.pathoram_bytes
+        assert row.fat_overhead_vs_normal == pytest.approx(1.25, rel=0.01)
+
+    def test_kaggle_row_matches_paper(self):
+        rows = {row.workload: row for row in run_table1()}
+        row = rows["Kaggle"]
+        assert row.insecure_bytes == pytest.approx(1.2 * GiB, rel=0.05)
+        assert row.pathoram_bytes == pytest.approx(16 * GiB, rel=1e-6)
+
+    def test_pathoram_overhead_is_about_8x(self):
+        for row in run_table1():
+            assert row.pathoram_overhead >= 6.0
+
+
+class TestTable2:
+    def test_fat_tree_reduces_dummy_reads_on_permutation(self):
+        result = run_table2(_FAST, seed=7)
+        normal = result.value("Normal/S8", "permutation")
+        fat = result.value("Fat/S8", "permutation")
+        assert fat <= normal
+
+    def test_ml_workloads_have_fewer_dummy_reads_than_permutation(self):
+        result = run_table2(_FAST, seed=7)
+        for config in ("Normal/S8", "Fat/S8"):
+            assert result.value(config, "xnli") <= result.value(config, "permutation")
+
+    def test_all_cells_are_present(self):
+        result = run_table2(_FAST, seed=7)
+        for config in ("Fat/S8", "Fat/S4", "Normal/S8", "Normal/S4"):
+            for dataset in ("permutation", "gaussian", "kaggle", "xnli"):
+                assert result.value(config, dataset) >= 0.0
+
+
+class TestMemoryNeutral:
+    def test_fat_tree_uses_less_memory_than_enlarged_normal_tree(self):
+        result = run_memory_neutral(_FAST, seed=8)
+        assert result.fat_memory_bytes < result.normal_memory_bytes
+        assert 0.05 < result.fat_memory_saving_fraction < 0.35
+
+    def test_fat_tree_does_not_need_more_dummy_reads(self):
+        result = run_memory_neutral(_FAST, seed=8)
+        assert result.fat_dummy_reads <= result.normal_dummy_reads
+
+
+class TestRingComparison:
+    def test_ring_oram_moves_fewer_bytes_than_pathoram(self):
+        result = run_ring_comparison(_FAST, seed=9)
+        assert result.bytes_per_access("RingORAM") < result.bytes_per_access("PathORAM")
+
+    def test_laoram_is_fastest_of_the_three(self):
+        result = run_ring_comparison(_FAST, seed=9)
+        assert result.speedup_over_pathoram("Fat/S4") > 1.0

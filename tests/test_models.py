@@ -1,0 +1,132 @@
+"""Tests for the DLRM and XLM-R style models (manual gradients)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.dlrm import DLRMModel
+from repro.embedding.xlmr import XLMRClassifier
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import make_rng
+
+
+class TestDLRMModel:
+    def make_model(self, dim=8):
+        return DLRMModel(
+            num_dense_features=5,
+            small_table_sizes=(10, 20),
+            embedding_dim=dim,
+            seed=0,
+        )
+
+    def make_sample(self, model, rng):
+        dense = rng.normal(size=5).astype(np.float32)
+        small_ids = np.array([3, 7])
+        protected = rng.normal(size=model.embedding_dim).astype(np.float32) * 0.1
+        return dense, small_ids, protected
+
+    def test_forward_produces_probability(self):
+        model = self.make_model()
+        rng = make_rng(0)
+        dense, small_ids, protected = self.make_sample(model, rng)
+        cache = model.forward(dense, small_ids, protected)
+        assert 0.0 < cache.probability < 1.0
+
+    def test_backward_returns_finite_gradient_and_loss(self):
+        model = self.make_model()
+        rng = make_rng(1)
+        dense, small_ids, protected = self.make_sample(model, rng)
+        cache = model.forward(dense, small_ids, protected)
+        grads = model.backward(cache, small_ids, label=1, update=False)
+        assert np.isfinite(grads.loss)
+        assert np.all(np.isfinite(grads.protected_row_grad))
+        assert grads.protected_row_grad.shape == (model.embedding_dim,)
+
+    def test_protected_gradient_matches_finite_differences(self):
+        """The manual backward pass must agree with numerical differentiation."""
+        model = self.make_model(dim=4)
+        rng = make_rng(2)
+        dense, small_ids, protected = self.make_sample(model, rng)
+        label = 1
+        cache = model.forward(dense, small_ids, protected)
+        grads = model.backward(cache, small_ids, label, update=False)
+
+        def loss_at(row):
+            prob = model.forward(dense, small_ids, row).probability
+            eps = 1e-7
+            return -(label * np.log(prob + eps) + (1 - label) * np.log(1 - prob + eps))
+
+        numeric = np.zeros_like(protected)
+        step = 1e-3
+        for index in range(protected.size):
+            plus = protected.copy()
+            plus[index] += step
+            minus = protected.copy()
+            minus[index] -= step
+            numeric[index] = (loss_at(plus) - loss_at(minus)) / (2 * step)
+        assert np.allclose(grads.protected_row_grad, numeric, rtol=1e-2, atol=1e-3)
+
+    def test_training_reduces_loss_on_fixed_sample(self):
+        model = self.make_model()
+        rng = make_rng(3)
+        dense, small_ids, protected = self.make_sample(model, rng)
+        first_loss = None
+        last_loss = None
+        row = protected.copy()
+        for _ in range(30):
+            cache = model.forward(dense, small_ids, row)
+            grads = model.backward(cache, small_ids, label=1, update=True)
+            row = row - 0.05 * grads.protected_row_grad
+            if first_loss is None:
+                first_loss = grads.loss
+            last_loss = grads.loss
+        assert last_loss < first_loss
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            DLRMModel(num_dense_features=0, small_table_sizes=(4,))
+        with pytest.raises(ConfigurationError):
+            DLRMModel(num_dense_features=2, small_table_sizes=(4,), learning_rate=0.0)
+
+
+class TestXLMRClassifier:
+    def test_forward_is_a_distribution(self):
+        model = XLMRClassifier(embedding_dim=16, num_classes=3, seed=0)
+        rng = make_rng(0)
+        probabilities = model.forward(rng.normal(size=(6, 16)))
+        assert probabilities.shape == (3,)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_train_step_returns_token_gradients(self):
+        model = XLMRClassifier(embedding_dim=16, seed=0)
+        rng = make_rng(1)
+        tokens = rng.normal(size=(6, 16)).astype(np.float32)
+        result = model.train_step(tokens, label=2, update=False)
+        assert result.token_grads.shape == (6, 16)
+        assert np.isfinite(result.loss)
+
+    def test_training_reduces_loss(self):
+        model = XLMRClassifier(embedding_dim=8, learning_rate=0.5, seed=0)
+        rng = make_rng(2)
+        tokens = rng.normal(size=(5, 8)).astype(np.float32)
+        losses = []
+        embeddings = tokens.copy()
+        for _ in range(25):
+            result = model.train_step(embeddings, label=1)
+            embeddings = embeddings - 0.5 * result.token_grads
+            losses.append(result.loss)
+        assert losses[-1] < losses[0]
+
+    def test_predict_matches_argmax(self):
+        model = XLMRClassifier(embedding_dim=8, seed=0)
+        rng = make_rng(3)
+        tokens = rng.normal(size=(4, 8))
+        assert model.predict(tokens) == int(np.argmax(model.forward(tokens)))
+
+    def test_invalid_inputs_rejected(self):
+        model = XLMRClassifier(embedding_dim=8, seed=0)
+        with pytest.raises(ConfigurationError):
+            model.forward(np.zeros((4, 5)))
+        with pytest.raises(ConfigurationError):
+            model.train_step(np.zeros((4, 8)), label=7)
+        with pytest.raises(ConfigurationError):
+            XLMRClassifier(embedding_dim=0)

@@ -1,0 +1,116 @@
+"""Tests for ORAMConfig geometry, fat-tree schedules and memory arithmetic."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.oram.config import FatTreePolicy, ORAMConfig
+
+
+class TestFatTreePolicy:
+    def test_paper_example_linear_schedule(self):
+        """Six-level example from the paper: buckets shrink 10..5."""
+        policy = FatTreePolicy(leaf_bucket_size=5, root_bucket_size=10)
+        assert policy.schedule(5) == (10, 9, 8, 7, 6, 5)
+
+    def test_eight_to_four_schedule_endpoints(self):
+        policy = FatTreePolicy(leaf_bucket_size=4, root_bucket_size=8)
+        schedule = policy.schedule(10)
+        assert schedule[0] == 8
+        assert schedule[-1] == 4
+        assert all(schedule[i] >= schedule[i + 1] for i in range(len(schedule) - 1))
+
+    def test_increment_growth(self):
+        policy = FatTreePolicy(leaf_bucket_size=4, root_bucket_size=8, growth="increment")
+        assert policy.schedule(3) == (7, 6, 5, 4)
+
+    def test_invalid_growth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FatTreePolicy(leaf_bucket_size=4, root_bucket_size=8, growth="exponential")
+
+    def test_root_smaller_than_leaf_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FatTreePolicy(leaf_bucket_size=8, root_bucket_size=4)
+
+    def test_capacity_at_validates_level(self):
+        policy = FatTreePolicy(leaf_bucket_size=4, root_bucket_size=8)
+        with pytest.raises(ConfigurationError):
+            policy.capacity_at(7, depth=5)
+
+
+class TestORAMConfigGeometry:
+    def test_depth_and_leaves(self):
+        config = ORAMConfig(num_blocks=1000)
+        assert config.depth == 10
+        assert config.num_leaves == 1024
+        assert config.num_buckets == 2047
+
+    def test_uniform_bucket_capacities(self):
+        config = ORAMConfig(num_blocks=64, bucket_size=5)
+        assert set(config.bucket_capacities()) == {5}
+        assert len(config.bucket_capacities()) == config.depth + 1
+
+    def test_fat_tree_defaults_to_double_root(self):
+        config = ORAMConfig(num_blocks=64, bucket_size=4, fat_tree=True)
+        capacities = config.bucket_capacities()
+        assert capacities[0] == 8
+        assert capacities[-1] == 4
+
+    def test_total_slots_consistent_with_capacities(self):
+        config = ORAMConfig(num_blocks=64, bucket_size=4)
+        assert config.total_slots == sum(
+            capacity * (1 << level)
+            for level, capacity in enumerate(config.bucket_capacities())
+        )
+
+
+class TestORAMConfigMemory:
+    def test_insecure_memory(self):
+        config = ORAMConfig(num_blocks=1024, block_size_bytes=128)
+        assert config.insecure_memory_bytes == 1024 * 128
+
+    def test_pathoram_tree_is_roughly_8x_for_bucket_4(self):
+        """Table I: a Z=4 tree over 2^k blocks occupies ~8x the raw table."""
+        config = ORAMConfig(
+            num_blocks=1 << 20, block_size_bytes=128, metadata_bytes_per_block=0
+        )
+        ratio = config.server_memory_bytes / config.insecure_memory_bytes
+        assert ratio == pytest.approx(8.0, rel=0.01)
+
+    def test_fat_tree_increment_overhead_is_about_25_percent(self):
+        """Table I: the per-level-increment fat tree adds ~Z^-1 = 25% memory."""
+        base = ORAMConfig(
+            num_blocks=1 << 20, block_size_bytes=128, metadata_bytes_per_block=0
+        )
+        fat = base.with_overrides(fat_tree=True, fat_tree_growth="increment")
+        assert fat.server_memory_bytes / base.server_memory_bytes == pytest.approx(
+            1.25, rel=0.01
+        )
+
+    def test_metadata_increases_footprint(self):
+        lean = ORAMConfig(num_blocks=256, metadata_bytes_per_block=0)
+        fat = ORAMConfig(num_blocks=256, metadata_bytes_per_block=32)
+        assert fat.server_memory_bytes > lean.server_memory_bytes
+
+
+class TestORAMConfigValidation:
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ConfigurationError):
+            ORAMConfig(num_blocks=0)
+
+    def test_rejects_bad_eviction_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            ORAMConfig(num_blocks=16, eviction_threshold=10, eviction_target=20)
+
+    def test_rejects_small_root_bucket(self):
+        with pytest.raises(ConfigurationError):
+            ORAMConfig(num_blocks=16, bucket_size=4, root_bucket_size=2)
+
+    def test_rejects_bad_growth(self):
+        with pytest.raises(ConfigurationError):
+            ORAMConfig(num_blocks=16, fat_tree_growth="weird")
+
+    def test_with_overrides_returns_new_config(self):
+        config = ORAMConfig(num_blocks=16)
+        other = config.with_overrides(bucket_size=6)
+        assert other.bucket_size == 6
+        assert config.bucket_size == 4

@@ -1,0 +1,79 @@
+"""Tests for the LAORAM preprocessor (dataset scan + path generation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.preprocessor import Preprocessor
+from repro.exceptions import ConfigurationError, TraceError
+from repro.utils.stats import chi_square_uniformity
+
+
+class TestBuildPlan:
+    def test_bins_cover_the_whole_stream_in_order(self):
+        pre = Preprocessor(superblock_size=4, num_leaves=16, seed=0)
+        addresses = np.arange(10)
+        plan = pre.build_plan(addresses)
+        assert len(plan) == 3
+        assert plan.bins[0].block_ids == (0, 1, 2, 3)
+        assert plan.bins[2].block_ids == (8, 9)
+        assert plan.num_accesses == 10
+
+    def test_start_index_offsets_occurrences(self):
+        pre = Preprocessor(superblock_size=2, num_leaves=8, seed=0)
+        plan = pre.build_plan([4, 5, 4], start_index=100)
+        assert plan.occurrences(4) == [100, 102]
+
+    def test_leaves_are_within_range(self):
+        pre = Preprocessor(superblock_size=4, num_leaves=32, seed=1)
+        plan = pre.build_plan(np.arange(400))
+        for sb in plan:
+            assert 0 <= sb.leaf < 32
+
+    def test_bin_paths_are_uniform(self):
+        """Superblock path generation must be uniform over the leaves (Sec. VI)."""
+        pre = Preprocessor(superblock_size=1, num_leaves=16, seed=2)
+        plan = pre.build_plan(np.zeros(8000, dtype=np.int64))
+        leaves = [sb.leaf for sb in plan]
+        assert not chi_square_uniformity(leaves, 16).rejects_uniformity()
+
+    def test_plan_is_deterministic_for_a_seed(self):
+        addresses = np.arange(64)
+        a = Preprocessor(4, 16, seed=7).build_plan(addresses)
+        b = Preprocessor(4, 16, seed=7).build_plan(addresses)
+        assert [sb.leaf for sb in a] == [sb.leaf for sb in b]
+
+    def test_invalid_inputs_rejected(self):
+        pre = Preprocessor(superblock_size=2, num_leaves=8)
+        with pytest.raises(TraceError):
+            pre.build_plan([])
+        with pytest.raises(TraceError):
+            pre.build_plan([[1, 2], [3, 4]])
+        with pytest.raises(TraceError):
+            pre.build_plan([-1, 2])
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Preprocessor(superblock_size=0, num_leaves=8)
+        with pytest.raises(ConfigurationError):
+            Preprocessor(superblock_size=2, num_leaves=1)
+
+
+class TestScanStatistics:
+    def test_duplicate_fraction(self):
+        pre = Preprocessor(superblock_size=4, num_leaves=8)
+        stats = pre.scan_statistics([1, 1, 2, 3])
+        assert stats.num_accesses == 4
+        assert stats.num_unique_blocks == 3
+        assert stats.duplicate_fraction == pytest.approx(0.25)
+        assert stats.num_bins == 1
+
+    def test_preprocessing_cost_is_linear(self):
+        pre = Preprocessor(superblock_size=4, num_leaves=8)
+        assert pre.preprocessing_cost_s(2000) == pytest.approx(
+            2 * pre.preprocessing_cost_s(1000)
+        )
+
+    def test_negative_cost_rejected(self):
+        pre = Preprocessor(superblock_size=4, num_leaves=8)
+        with pytest.raises(ValueError):
+            pre.preprocessing_cost_s(-1)

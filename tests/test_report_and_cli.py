@@ -1,0 +1,83 @@
+"""Tests for report rendering and the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, run_command
+from repro.experiments import report
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.memory_neutral import run_memory_neutral
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+_FAST = ExperimentScale(name="cli-test", num_blocks=256, num_accesses=512)
+
+
+class TestFormatting:
+    def test_format_table_aligns_columns(self):
+        text = report.format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_render_figure7(self):
+        text = report.render_figure7(run_figure7("7e", _FAST))
+        assert "PathORAM" in text
+        assert "Fat/S8" in text
+        assert "x" in text
+
+    def test_render_figure8(self):
+        text = report.render_figure8(run_figure8(_FAST))
+        assert "Normal-4" in text
+
+    def test_render_figure9(self):
+        text = report.render_figure9(run_figure9(_FAST))
+        assert "upper bound" in text
+
+    def test_render_table1(self):
+        text = report.render_table1(run_table1())
+        assert "8M" in text
+        assert "GiB" in text
+
+    def test_render_table2(self):
+        text = report.render_table2(run_table2(_FAST))
+        assert "permutation" in text
+
+    def test_render_memory_neutral(self):
+        text = report.render_memory_neutral(run_memory_neutral(_FAST))
+        assert "memory saving" in text
+
+    def test_render_speedup_summary(self):
+        text = report.render_speedup_summary(
+            {"kaggle": {"PathORAM": 1.0, "Fat/S4": 3.0}}
+        )
+        assert "kaggle" in text
+        assert "3.00x" in text
+
+
+class TestCLI:
+    def test_parser_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        captured = capsys.readouterr()
+        assert "Table I" in captured.out
+
+    def test_figure2_command(self, capsys):
+        assert main(["figure2", "--accesses", "2000"]) == 0
+        assert "hot band" in capsys.readouterr().out
+
+    def test_figure7_command_tiny(self, capsys):
+        assert main(["figure7", "--subfigure", "7e", "--scale", "tiny"]) == 0
+        assert "speedups over PathORAM" in capsys.readouterr().out
+
+    def test_run_command_rejects_unknown(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        args.command = "bogus"
+        with pytest.raises(ValueError):
+            run_command(args)

@@ -1,0 +1,88 @@
+"""Tests for the simplified RingORAM comparator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BlockNotFoundError, ConfigurationError
+from repro.oram.config import ORAMConfig
+from repro.oram.ring_oram import RingORAM, reverse_lexicographic_leaf
+
+
+@pytest.fixture
+def config():
+    return ORAMConfig(num_blocks=128, block_size_bytes=32, seed=9)
+
+
+class TestReverseLexicographicOrder:
+    def test_covers_all_leaves(self):
+        depth = 4
+        leaves = {reverse_lexicographic_leaf(i, depth) for i in range(1 << depth)}
+        assert leaves == set(range(1 << depth))
+
+    def test_alternates_subtrees(self):
+        # Consecutive evictions should alternate between the two root subtrees.
+        first = reverse_lexicographic_leaf(0, 3)
+        second = reverse_lexicographic_leaf(1, 3)
+        assert (first < 4) != (second < 4)
+
+    def test_wraps_around(self):
+        assert reverse_lexicographic_leaf(8, 3) == reverse_lexicographic_leaf(0, 3)
+
+
+class TestRingORAM:
+    def test_construction_places_all_blocks(self, config):
+        oram = RingORAM(config)
+        assert oram.total_real_blocks() == 128
+
+    def test_invalid_parameters_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            RingORAM(config, dummies_per_bucket=0)
+        with pytest.raises(ConfigurationError):
+            RingORAM(config, evict_rate=0)
+
+    def test_payload_round_trip(self, config):
+        oram = RingORAM(config)
+        oram.write(42, b"spam")
+        assert oram.read(42) == b"spam"
+
+    def test_payload_survives_traffic(self, config):
+        oram = RingORAM(config)
+        oram.write(3, b"keep")
+        rng = np.random.default_rng(0)
+        for block in rng.integers(0, 128, size=200):
+            oram.read(int(block))
+        assert oram.read(3) == b"keep"
+
+    def test_block_conservation(self, config):
+        oram = RingORAM(config)
+        rng = np.random.default_rng(1)
+        for block in rng.integers(0, 128, size=200):
+            oram.read(int(block))
+        assert oram.total_real_blocks() == 128
+
+    def test_out_of_range_rejected(self, config):
+        oram = RingORAM(config)
+        with pytest.raises(BlockNotFoundError):
+            oram.read(128)
+
+    def test_online_read_moves_fewer_bytes_than_pathoram(self, config):
+        """RingORAM's headline property: one block per bucket on the online read."""
+        from repro.oram.path_oram import PathORAM
+
+        ring = RingORAM(config, evict_rate=4)
+        path = PathORAM(config)
+        addresses = list(np.random.default_rng(2).integers(0, 128, size=200))
+        ring.access_many([int(a) for a in addresses])
+        path.access_many([int(a) for a in addresses])
+        assert ring.statistics.bytes_read < path.statistics.bytes_read
+
+    def test_eviction_happens_at_configured_rate(self, config):
+        oram = RingORAM(config, evict_rate=5)
+        for block in range(20):
+            oram.read(block)
+        # 20 accesses / evict rate 5 = 4 evictions; each is a dummy path read.
+        assert oram.statistics.dummy_reads >= 4
+
+    def test_server_memory_exceeds_pathoram_tree(self, config):
+        oram = RingORAM(config, dummies_per_bucket=4)
+        assert oram.server_memory_bytes > config.server_memory_bytes

@@ -1,0 +1,80 @@
+"""Tests for the ORAM-backed embedding store."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LAORAMConfig
+from repro.core.laoram import LAORAMClient
+from repro.embedding.secure_loader import SecureEmbeddingStore
+from repro.embedding.table import EmbeddingTable
+from repro.exceptions import ConfigurationError
+from repro.oram.config import ORAMConfig
+from repro.oram.insecure import InsecureMemory
+from repro.oram.path_oram import PathORAM
+from repro.oram.ring_oram import RingORAM
+
+
+def make_store(engine_factory, num_rows=64, dim=8):
+    config = ORAMConfig(num_blocks=num_rows, block_size_bytes=dim * 4, seed=21)
+    engine = engine_factory(config)
+    table = EmbeddingTable(num_rows, dim, seed=5)
+    return SecureEmbeddingStore(engine, table), table
+
+
+class TestSecureEmbeddingStore:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            PathORAM,
+            InsecureMemory,
+            RingORAM,
+            lambda cfg: LAORAMClient(LAORAMConfig(oram=cfg, superblock_size=4)),
+        ],
+        ids=["pathoram", "insecure", "ringoram", "laoram"],
+    )
+    def test_fetch_matches_plaintext_table(self, factory):
+        store, table = make_store(factory)
+        ids = np.array([0, 5, 9, 33])
+        fetched = store.fetch_rows(ids)
+        assert np.allclose(fetched, table.lookup(ids))
+
+    def test_update_then_fetch_round_trip(self):
+        store, _ = make_store(PathORAM)
+        new_values = np.full((2, 8), 3.5, dtype=np.float32)
+        store.update_rows([10, 11], new_values)
+        assert np.allclose(store.fetch_rows([10, 11]), 3.5)
+
+    def test_updates_survive_other_traffic(self):
+        store, _ = make_store(PathORAM)
+        store.update_rows([7], np.full((1, 8), -1.0, dtype=np.float32))
+        rng = np.random.default_rng(0)
+        store.fetch_rows(rng.integers(0, 64, size=50))
+        assert np.allclose(store.fetch_rows([7]), -1.0)
+
+    def test_materialize_recovers_full_table(self):
+        store, table = make_store(PathORAM, num_rows=32)
+        recovered = store.materialize()
+        assert np.allclose(recovered.weights, table.weights)
+
+    def test_laoram_batched_fetch_counts_every_access(self):
+        store, _ = make_store(
+            lambda cfg: LAORAMClient(LAORAMConfig(oram=cfg, superblock_size=4))
+        )
+        store.fetch_rows(np.arange(16))
+        assert store.memory.statistics.logical_accesses == 16
+
+    def test_table_larger_than_oram_rejected(self):
+        config = ORAMConfig(num_blocks=16, block_size_bytes=32)
+        engine = PathORAM(config)
+        table = EmbeddingTable(32, 8, seed=0)
+        with pytest.raises(ConfigurationError):
+            SecureEmbeddingStore(engine, table)
+
+    def test_invalid_row_ids_rejected(self):
+        store, _ = make_store(PathORAM)
+        with pytest.raises(ConfigurationError):
+            store.fetch_rows([])
+        with pytest.raises(ConfigurationError):
+            store.fetch_rows([999])
+        with pytest.raises(ConfigurationError):
+            store.update_rows([0], np.ones((1, 3), dtype=np.float32))

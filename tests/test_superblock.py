@@ -1,0 +1,75 @@
+"""Tests for superblock bins and the lookahead plan."""
+
+import pytest
+
+from repro.core.superblock import LookaheadPlan, SuperblockBin
+
+
+def make_plan():
+    bins = [
+        SuperblockBin(bin_id=0, start_index=0, block_ids=(5, 7, 5, 9), leaf=3),
+        SuperblockBin(bin_id=1, start_index=4, block_ids=(2, 5, 11, 7), leaf=6),
+        SuperblockBin(bin_id=2, start_index=8, block_ids=(9, 9), leaf=1),
+    ]
+    return LookaheadPlan(bins, num_leaves=16)
+
+
+class TestSuperblockBin:
+    def test_end_index(self):
+        sb = SuperblockBin(0, start_index=4, block_ids=(1, 2, 3), leaf=0)
+        assert sb.end_index == 6
+
+    def test_unique_block_ids_preserve_order(self):
+        sb = SuperblockBin(0, 0, block_ids=(5, 7, 5, 9), leaf=0)
+        assert sb.unique_block_ids == (5, 7, 9)
+
+    def test_len_counts_accesses_not_unique_blocks(self):
+        sb = SuperblockBin(0, 0, block_ids=(5, 5, 5), leaf=0)
+        assert len(sb) == 3
+
+
+class TestLookaheadPlan:
+    def test_num_accesses(self):
+        assert make_plan().num_accesses == 10
+
+    def test_iteration_and_len(self):
+        plan = make_plan()
+        assert len(plan) == 3
+        assert [sb.bin_id for sb in plan] == [0, 1, 2]
+
+    def test_next_leaf_finds_following_occurrence(self):
+        plan = make_plan()
+        # Block 5 occurs at indices 0, 2 (bin 0) and 5 (bin 1).
+        assert plan.next_leaf(5, after_index=-1) == 3
+        assert plan.next_leaf(5, after_index=2) == 6
+        assert plan.next_leaf(5, after_index=5) is None
+
+    def test_next_leaf_for_unknown_block(self):
+        assert make_plan().next_leaf(999, after_index=-1) is None
+
+    def test_consume_next_leaf_uses_each_occurrence_once(self):
+        plan = make_plan()
+        # Block 5 occurs at indices 0 and 2 (bin 0, leaf 3) and 5 (bin 1, leaf 6).
+        assert plan.consume_next_leaf(5, after_index=-1) == 3
+        # Subsequent reassignments move on to later occurrences even though
+        # after_index has not advanced.
+        assert plan.consume_next_leaf(5, after_index=-1) == 3  # index 2, same bin
+        assert plan.consume_next_leaf(5, after_index=-1) == 6  # index 5, bin 1
+        assert plan.consume_next_leaf(5, after_index=-1) is None
+
+    def test_consume_does_not_affect_pure_lookup(self):
+        plan = make_plan()
+        plan.consume_next_leaf(5, after_index=-1)
+        assert plan.next_leaf(5, after_index=-1) == 3
+
+    def test_occurrences(self):
+        plan = make_plan()
+        assert plan.occurrences(9) == [3, 8, 9]
+        assert plan.occurrences(123) == []
+
+    def test_metadata_bytes_scales_with_accesses(self):
+        assert make_plan().metadata_bytes() == 12 * 10
+
+    def test_invalid_num_leaves_rejected(self):
+        with pytest.raises(ValueError):
+            LookaheadPlan([], num_leaves=1)

@@ -1,0 +1,79 @@
+"""Tests for trace serialization and the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import AccessTrace
+from repro.datasets.io import load_trace, save_trace
+from repro.datasets.permutation import PermutationTraceGenerator
+from repro.exceptions import TraceError
+from repro.experiments.plotting import ascii_bar_chart, ascii_line_chart
+
+
+class TestTraceIO:
+    def test_round_trip(self, tmp_path):
+        trace = PermutationTraceGenerator(64, seed=1).generate(128)
+        path = save_trace(trace, tmp_path / "perm.npz")
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert loaded.num_blocks == trace.num_blocks
+        assert np.array_equal(loaded.addresses, trace.addresses)
+
+    def test_suffix_is_added(self, tmp_path):
+        trace = AccessTrace("t", 8, np.array([1, 2, 3]))
+        path = save_trace(trace, tmp_path / "mytrace")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "missing.npz")
+
+    def test_malformed_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, addresses=np.array([1, 2]))
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_creates_parent_directories(self, tmp_path):
+        trace = AccessTrace("t", 8, np.array([0]))
+        path = save_trace(trace, tmp_path / "nested" / "dir" / "trace.npz")
+        assert path.exists()
+
+
+class TestAsciiCharts:
+    def test_bar_chart_contains_all_labels_and_values(self):
+        chart = ascii_bar_chart({"PathORAM": 1.0, "Fat/S8": 4.7})
+        assert "PathORAM" in chart
+        assert "4.70x" in chart
+        assert "#" in chart
+
+    def test_bar_chart_scales_to_peak(self):
+        chart = ascii_bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_bar_chart_rejects_empty_or_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart({})
+        with pytest.raises(ValueError):
+            ascii_bar_chart({"a": 0.0})
+
+    def test_line_chart_shape(self):
+        chart = ascii_line_chart(
+            {"normal": list(range(100)), "fat": [v / 3 for v in range(100)]},
+            width=40,
+            height=8,
+            title="stash growth",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "stash growth"
+        assert len(lines) == 1 + 8 + 2
+        assert "*=normal" in lines[-1]
+
+    def test_line_chart_rejects_empty_series(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({})
+        with pytest.raises(ValueError):
+            ascii_line_chart({"a": []})

@@ -1,0 +1,86 @@
+"""End-to-end tests of the oblivious embedding trainers."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LAORAMConfig
+from repro.core.laoram import LAORAMClient
+from repro.datasets.kaggle import SyntheticCriteoDataset
+from repro.datasets.xnli import SyntheticXNLIDataset
+from repro.embedding.dlrm import DLRMModel
+from repro.embedding.secure_loader import SecureEmbeddingStore
+from repro.embedding.table import EmbeddingTable
+from repro.embedding.trainer import ObliviousEmbeddingTrainer
+from repro.embedding.xlmr import XLMRClassifier
+from repro.oram.config import ORAMConfig
+from repro.oram.path_oram import PathORAM
+
+EMBED_DIM = 8
+TABLE_ROWS = 128
+
+
+def make_store(use_laoram: bool):
+    config = ORAMConfig(num_blocks=TABLE_ROWS, block_size_bytes=EMBED_DIM * 4, seed=31)
+    if use_laoram:
+        engine = LAORAMClient(LAORAMConfig(oram=config, superblock_size=4))
+    else:
+        engine = PathORAM(config)
+    table = EmbeddingTable(TABLE_ROWS, EMBED_DIM, seed=2)
+    return SecureEmbeddingStore(engine, table)
+
+
+class TestDLRMTraining:
+    @pytest.mark.parametrize("use_laoram", [False, True], ids=["pathoram", "laoram"])
+    def test_epoch_produces_finite_metrics(self, use_laoram):
+        dataset = SyntheticCriteoDataset(
+            num_samples=40, largest_table_rows=TABLE_ROWS, seed=4
+        )
+        model = DLRMModel(
+            num_dense_features=13,
+            small_table_sizes=dataset.table_sizes[:-1],
+            embedding_dim=EMBED_DIM,
+            seed=0,
+        )
+        trainer = ObliviousEmbeddingTrainer(make_store(use_laoram))
+        report = trainer.train_dlrm_epoch(model, dataset, max_samples=40)
+        assert np.isfinite(report.mean_loss)
+        assert 0.0 <= report.accuracy <= 1.0
+        assert report.embedding_accesses >= 40
+
+    def test_laoram_fetches_fewer_paths_than_pathoram(self):
+        dataset = SyntheticCriteoDataset(
+            num_samples=60, largest_table_rows=TABLE_ROWS, seed=5
+        )
+        reports = {}
+        for use_laoram in (False, True):
+            model = DLRMModel(
+                num_dense_features=13,
+                small_table_sizes=dataset.table_sizes[:-1],
+                embedding_dim=EMBED_DIM,
+                seed=0,
+            )
+            trainer = ObliviousEmbeddingTrainer(make_store(use_laoram))
+            reports[use_laoram] = trainer.train_dlrm_epoch(model, dataset, max_samples=60)
+        assert reports[True].path_reads < reports[False].path_reads
+
+
+class TestXLMRTraining:
+    def test_epoch_trains_and_counts_token_accesses(self):
+        dataset = SyntheticXNLIDataset(
+            num_samples=12, vocabulary_size=TABLE_ROWS, sequence_length=4, seed=6
+        )
+        model = XLMRClassifier(embedding_dim=EMBED_DIM, seed=0)
+        trainer = ObliviousEmbeddingTrainer(make_store(True))
+        report = trainer.train_xlmr_epoch(model, dataset, max_samples=12)
+        assert report.embedding_accesses >= 12 * 4
+        assert np.isfinite(report.mean_loss)
+
+    def test_learning_signal_over_epochs(self):
+        dataset = SyntheticXNLIDataset(
+            num_samples=30, vocabulary_size=TABLE_ROWS, sequence_length=4, seed=7
+        )
+        model = XLMRClassifier(embedding_dim=EMBED_DIM, learning_rate=0.3, seed=0)
+        trainer = ObliviousEmbeddingTrainer(make_store(False))
+        first = trainer.train_xlmr_epoch(model, dataset)
+        second = trainer.train_xlmr_epoch(model, dataset)
+        assert second.mean_loss <= first.mean_loss * 1.05

@@ -1,0 +1,122 @@
+"""Tests for the binary-tree server storage (normal and fat)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.memory.block import Block
+from repro.oram.tree import TreeStorage
+
+
+def make_tree(depth=3, bucket=2, block_size=64, metadata=0, capacities=None):
+    caps = capacities if capacities is not None else [bucket] * (depth + 1)
+    return TreeStorage(
+        depth=depth,
+        bucket_capacities=caps,
+        block_size_bytes=block_size,
+        metadata_bytes_per_block=metadata,
+    )
+
+
+class TestGeometry:
+    def test_num_buckets_and_leaves(self):
+        tree = make_tree(depth=3)
+        assert tree.num_buckets == 15
+        assert tree.num_leaves == 8
+
+    def test_capacity_schedule_length_must_match_depth(self):
+        with pytest.raises(ConfigurationError):
+            TreeStorage(depth=3, bucket_capacities=[4, 4], block_size_bytes=64)
+
+    def test_fat_tree_capacities_per_level(self):
+        tree = make_tree(depth=3, capacities=[8, 6, 5, 4])
+        assert tree.capacity_at_level(0) == 8
+        assert tree.capacity_at_level(3) == 4
+        assert tree.bucket(0, 0).capacity == 8
+        assert tree.bucket(3, 5).capacity == 4
+
+    def test_total_slots_and_server_bytes(self):
+        tree = make_tree(depth=2, bucket=2, block_size=100, metadata=10)
+        # 1 + 2 + 4 nodes, 2 slots each, 110 bytes per slot.
+        assert tree.total_slots == 14
+        assert tree.server_memory_bytes == 14 * 110
+
+    def test_path_cost_counts_all_levels(self):
+        tree = make_tree(depth=3, bucket=2, block_size=50)
+        num_buckets, num_bytes = tree.path_cost(leaf=0)
+        assert num_buckets == 4
+        assert num_bytes == 8 * 50
+
+    def test_fat_path_cost_is_larger(self):
+        normal = make_tree(depth=3, bucket=4)
+        fat = make_tree(depth=3, capacities=[8, 7, 5, 4])
+        assert fat.path_cost(0)[1] > normal.path_cost(0)[1]
+
+
+class TestPathOperations:
+    def test_read_path_removes_blocks(self):
+        tree = make_tree(depth=3)
+        tree.bucket(0, 0).add(Block(1, 0))
+        tree.bucket(3, 5).add(Block(2, 5))
+        blocks = tree.read_path(5)
+        ids = {block.block_id for block in blocks}
+        assert ids == {1, 2}
+        assert tree.real_block_count() == 0
+
+    def test_read_path_ignores_other_paths(self):
+        tree = make_tree(depth=3)
+        tree.bucket(3, 0).add(Block(1, 0))
+        blocks = tree.read_path(7)
+        assert blocks == []
+        assert tree.real_block_count() == 1
+
+    def test_peek_path_does_not_remove(self):
+        tree = make_tree(depth=3)
+        tree.bucket(2, 4).add(Block(9, 4))
+        assert len(tree.peek_path(4)) == 1
+        assert tree.real_block_count() == 1
+
+    def test_write_path_places_blocks_per_level(self):
+        tree = make_tree(depth=3, bucket=2)
+        tree.write_path(3, {0: [Block(1, 3)], 3: [Block(2, 3), Block(3, 3)]})
+        assert tree.real_block_count() == 3
+        assert tree.bucket(3, 3).find(2) is not None
+
+    def test_write_path_overflow_rejected(self):
+        tree = make_tree(depth=3, bucket=1)
+        with pytest.raises(ConfigurationError):
+            tree.write_path(0, {0: [Block(1, 0), Block(2, 0)]})
+
+    def test_write_respects_existing_occupancy(self):
+        tree = make_tree(depth=3, bucket=1)
+        tree.write_path(0, {0: [Block(1, 0)]})
+        with pytest.raises(ConfigurationError):
+            tree.write_path(1, {0: [Block(2, 1)]})
+
+
+class TestBulkHelpers:
+    def test_try_place_prefers_deepest_level(self):
+        tree = make_tree(depth=3, bucket=2)
+        block = Block(5, leaf=6)
+        assert tree.try_place_on_path(block)
+        assert tree.bucket(3, 6).find(5) is not None
+
+    def test_try_place_falls_back_toward_root(self):
+        tree = make_tree(depth=2, bucket=1)
+        assert tree.try_place_on_path(Block(1, leaf=2))
+        assert tree.try_place_on_path(Block(2, leaf=2))
+        assert tree.try_place_on_path(Block(3, leaf=2))
+        # Path is now full at every level.
+        assert not tree.try_place_on_path(Block(4, leaf=2))
+
+    def test_occupancy_by_level(self):
+        tree = make_tree(depth=2, bucket=2)
+        tree.bucket(0, 0).add(Block(1, 0))
+        occupancy = tree.occupancy_by_level()
+        assert occupancy[0] == pytest.approx(0.5)
+        assert occupancy[1] == 0.0
+
+    def test_iter_blocks(self):
+        tree = make_tree(depth=2, bucket=2)
+        tree.bucket(0, 0).add(Block(1, 0))
+        tree.bucket(2, 3).add(Block(2, 3))
+        assert {block.block_id for block in tree.iter_blocks()} == {1, 2}
