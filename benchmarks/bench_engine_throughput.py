@@ -1,0 +1,113 @@
+"""Throughput benchmark: array-backed engine vs. the seed per-object engine.
+
+Runs the same 100k-access Zipf trace through the reference
+``LAORAMClient`` and the vectorized ``FastLAORAMClient`` at a DLRM-scale
+table size (2^20 rows by default; the paper's tables hold 8M-16M), then
+checks two properties:
+
+* the two engines produce **identical** ``TrafficSnapshot`` counters — the
+  vectorized engine is decision-for-decision the same protocol; and
+* the vectorized engine sustains **>= 5x** the accesses/second of the seed
+  engine (asserted only at full scale; ``--smoke`` runs a small instance
+  that checks equivalence and prints the ratio without gating on it, since
+  the vectorized engine's advantage grows with tree depth).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py          # full
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --smoke  # CI
+
+Exits non-zero when a check fails, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.config import LAORAMConfig
+from repro.core.fast_laoram import FastLAORAMClient
+from repro.core.laoram import LAORAMClient
+from repro.datasets.zipf import ZipfTraceGenerator
+from repro.oram.config import ORAMConfig
+
+
+def run_engine(engine_cls, config: LAORAMConfig, addresses) -> tuple[float, object]:
+    """Run one engine over the trace; returns (wall seconds, snapshot)."""
+    engine = engine_cls(config)
+    start = time.perf_counter()
+    engine.run_trace(addresses)
+    elapsed = time.perf_counter() - start
+    assert engine.total_real_blocks() == config.oram.num_blocks, (
+        "block conservation violated"
+    )
+    return elapsed, engine.statistics
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small instance: check counter equivalence only (CI gate)",
+    )
+    parser.add_argument("--num-blocks", type=int, default=None)
+    parser.add_argument("--num-accesses", type=int, default=None)
+    parser.add_argument("--superblock-size", type=int, default=4)
+    parser.add_argument("--block-size-bytes", type=int, default=64)
+    parser.add_argument("--exponent", type=float, default=1.1)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="required fast/seed throughput ratio at full scale",
+    )
+    args = parser.parse_args(argv)
+
+    num_blocks = args.num_blocks or ((1 << 12) if args.smoke else (1 << 20))
+    num_accesses = args.num_accesses or (20_000 if args.smoke else 100_000)
+
+    trace = ZipfTraceGenerator(
+        num_blocks, exponent=args.exponent, seed=7
+    ).generate(num_accesses)
+    config = LAORAMConfig(
+        oram=ORAMConfig(
+            num_blocks=num_blocks,
+            block_size_bytes=args.block_size_bytes,
+            seed=args.seed,
+        ),
+        superblock_size=args.superblock_size,
+    )
+    print(
+        f"zipf trace: {num_accesses} accesses over {num_blocks} blocks "
+        f"(depth {config.oram.depth}, superblock {args.superblock_size})"
+    )
+
+    seed_s, seed_snapshot = run_engine(LAORAMClient, config, trace.addresses)
+    fast_s, fast_snapshot = run_engine(FastLAORAMClient, config, trace.addresses)
+
+    seed_rate = num_accesses / seed_s
+    fast_rate = num_accesses / fast_s
+    speedup = fast_rate / seed_rate
+    print(f"seed engine (LAORAMClient):     {seed_s:8.2f}s  {seed_rate:10.0f} acc/s")
+    print(f"fast engine (FastLAORAMClient): {fast_s:8.2f}s  {fast_rate:10.0f} acc/s")
+    print(f"speedup: {speedup:.2f}x")
+
+    failed = False
+    if fast_snapshot != seed_snapshot:
+        print("FAIL: traffic snapshots differ between engines")
+        print(f"  seed: {seed_snapshot}")
+        print(f"  fast: {fast_snapshot}")
+        failed = True
+    else:
+        print("traffic snapshots identical")
+    if not args.smoke and speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below required {args.min_speedup}x")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

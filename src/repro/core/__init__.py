@@ -1,7 +1,14 @@
-"""LAORAM core: look-ahead superblock formation, preprocessor and client."""
+"""LAORAM core: look-ahead superblock formation, preprocessor and clients.
+
+Two interchangeable clients execute the protocol: the per-object reference
+:class:`LAORAMClient` and the array-backed :class:`FastLAORAMClient`, which
+makes identical protocol decisions (and therefore identical traffic
+counters for a fixed seed) over vectorized storage.
+"""
 
 from repro.core.config import LAORAMConfig
-from repro.core.laoram import LAORAMClient
+from repro.core.fast_laoram import FastLAORAMClient
+from repro.core.laoram import LAORAMClient, LookaheadClientMixin
 from repro.core.preprocessor import Preprocessor
 from repro.core.superblock import LookaheadPlan, SuperblockBin
 from repro.core.pipeline import PipelineEstimate, TrainingPipeline
@@ -9,6 +16,8 @@ from repro.core.pipeline import PipelineEstimate, TrainingPipeline
 __all__ = [
     "LAORAMConfig",
     "LAORAMClient",
+    "FastLAORAMClient",
+    "LookaheadClientMixin",
     "Preprocessor",
     "LookaheadPlan",
     "SuperblockBin",

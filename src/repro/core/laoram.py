@@ -19,6 +19,11 @@ therefore its obliviousness argument), but changes two things:
 The fat-tree option lives entirely in :class:`~repro.oram.config.ORAMConfig`,
 so the same client runs both the "Normal" and "Fat" configurations of the
 evaluation.
+
+Plan management, trace windowing and the batched entry points live in
+:class:`LookaheadClientMixin` so that the per-object client here and the
+array-backed :class:`~repro.core.fast_laoram.FastLAORAMClient` share one
+scheduling implementation and differ only in how a superblock is executed.
 """
 
 from __future__ import annotations
@@ -38,28 +43,20 @@ from repro.core.preprocessor import Preprocessor
 from repro.core.superblock import LookaheadPlan, SuperblockBin
 
 
-class LAORAMClient(PathORAM):
-    """Look-ahead ORAM client (the paper's contribution)."""
+class LookaheadClientMixin:
+    """Plan-driven scheduling shared by every LAORAM engine backend.
 
-    def __init__(
-        self,
-        config: LAORAMConfig,
-        timing: Optional[TimingModel] = None,
-        counter: Optional[TrafficCounter] = None,
-        eviction: Optional[EvictionPolicy] = None,
-        rng: Optional[np.random.Generator] = None,
-        observer=None,
-    ):
+    The mixin owns the preprocessor, the installed plan, the trace cursor and
+    every trace-level entry point (``run_trace``, ``access_many``,
+    ``write_many``).  Concrete engines provide the storage backend plus
+    :meth:`access_superblock` and :meth:`apply_initial_placement`.
+    """
+
+    laoram_config: LAORAMConfig
+
+    def _init_lookahead(self, config: LAORAMConfig) -> None:
         if not isinstance(config, LAORAMConfig):
-            raise ConfigurationError("LAORAMClient requires an LAORAMConfig")
-        super().__init__(
-            config.oram,
-            timing=timing,
-            counter=counter,
-            eviction=eviction,
-            rng=rng,
-            observer=observer,
-        )
+            raise ConfigurationError("LAORAM clients require an LAORAMConfig")
         self.laoram_config = config
         self.preprocessor = Preprocessor(
             superblock_size=config.superblock_size,
@@ -120,10 +117,148 @@ class LAORAMClient(PathORAM):
             plan = self.preprocess(chunk, start_index=offset)
             if first_window and reinitialize_placement:
                 self.apply_initial_placement(plan)
-                first_window = False
-            for superblock in plan.bins:
-                self.access_superblock(superblock)
+            # The first window is over regardless of whether placement ran;
+            # leaving the flag set would mis-apply placement mid-trace.
+            first_window = False
+            self._execute_plan(plan)
             offset += window
+
+    def _execute_plan(self, plan: LookaheadPlan) -> None:
+        """Execute every bin of ``plan``; backends may override for speed."""
+        for superblock in plan.bins:
+            self.access_superblock(superblock)
+
+    def access_many(self, block_ids: Sequence[int]) -> list[Optional[object]]:
+        """Batched read access: ids are grouped into superblock-sized bins.
+
+        This is the entry point the embedding trainer uses: each consecutive
+        group of ``superblock_size`` requested rows is served as one
+        superblock, so blocks sharing a path cost a single fetch.  Bin
+        boundaries are aligned to the global access index so they coincide
+        with the boundaries the preprocessor used when planning the trace.
+        """
+        ids = [int(b) for b in block_ids]
+        payloads: list[Optional[object]] = []
+        offset = 0
+        while offset < len(ids):
+            chunk = tuple(ids[offset : offset + self._next_bin_length()])
+            superblock = SuperblockBin(
+                bin_id=-1,
+                start_index=self._trace_cursor,
+                block_ids=chunk,
+                leaf=0,
+            )
+            payloads.extend(self.access_superblock(superblock))
+            offset += len(chunk)
+        return payloads
+
+    def write_many(
+        self, block_ids: Sequence[int], payloads: Sequence[object]
+    ) -> None:
+        """Batched write access: like :meth:`access_many` but storing payloads.
+
+        Gradient write-backs of a training minibatch go through here so that
+        updated rows sharing a path cost a single fetch, mirroring the read
+        side.  Duplicate ids within the batch keep the last payload.
+        """
+        ids = [int(b) for b in block_ids]
+        if len(ids) != len(payloads):
+            raise ConfigurationError("block_ids and payloads must have equal length")
+        offset = 0
+        while offset < len(ids):
+            take = self._next_bin_length()
+            chunk = ids[offset : offset + take]
+            updates = dict(zip(chunk, payloads[offset : offset + take]))
+            superblock = SuperblockBin(
+                bin_id=-1,
+                start_index=self._trace_cursor,
+                block_ids=tuple(chunk),
+                leaf=0,
+            )
+            self.access_superblock(superblock, new_payloads=updates)
+            offset += len(chunk)
+
+    def _next_bin_length(self) -> int:
+        """Length of the next ad-hoc bin so it ends on a superblock boundary."""
+        size = self.laoram_config.superblock_size
+        return size - (self._trace_cursor % size)
+
+    @property
+    def trace_cursor(self) -> int:
+        """Number of planned accesses consumed so far (plan lookup position)."""
+        return self._trace_cursor
+
+    # ------------------------------------------------------------------
+    # Single-access compatibility path
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        block_id: int,
+        op: AccessOp = AccessOp.READ,
+        new_payload: Optional[object] = None,
+    ) -> Optional[object]:
+        """Single-block access (PathORAM semantics, plan-driven remapping)."""
+        payload = super().access(block_id, op, new_payload)
+        self._trace_cursor += 1
+        return payload
+
+    def _choose_new_leaf(self, block_id: int) -> int:
+        return self._planned_leaf(block_id, after_index=self._trace_cursor)
+
+    def _planned_leaf(self, block_id: int, after_index: int) -> int:
+        if self._plan is not None:
+            leaf = self._plan.consume_next_leaf(block_id, after_index)
+            if leaf is not None:
+                return leaf
+        return int(self.rng.integers(0, self.config.num_leaves))
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def superblock_size(self) -> int:
+        """Configured superblock size ``S``."""
+        return self.laoram_config.superblock_size
+
+    def describe(self) -> str:
+        """Configuration label in the paper's notation (e.g. ``"Fat/S4"``)."""
+        return self.laoram_config.describe()
+
+    # Backend-specific operations -------------------------------------
+    def apply_initial_placement(self, plan: LookaheadPlan) -> None:
+        raise NotImplementedError
+
+    def access_superblock(
+        self,
+        superblock: SuperblockBin,
+        new_payloads: Optional[dict[int, object]] = None,
+    ) -> list[Optional[object]]:
+        raise NotImplementedError
+
+
+class LAORAMClient(LookaheadClientMixin, PathORAM):
+    """Look-ahead ORAM client (the paper's contribution), per-object backend."""
+
+    def __init__(
+        self,
+        config: LAORAMConfig,
+        timing: Optional[TimingModel] = None,
+        counter: Optional[TrafficCounter] = None,
+        eviction: Optional[EvictionPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
+        observer=None,
+    ):
+        if not isinstance(config, LAORAMConfig):
+            raise ConfigurationError("LAORAMClient requires an LAORAMConfig")
+        super().__init__(
+            config.oram,
+            timing=timing,
+            counter=counter,
+            eviction=eviction,
+            rng=rng,
+            observer=observer,
+        )
+        self._init_lookahead(config)
 
     def apply_initial_placement(self, plan: LookaheadPlan) -> None:
         """Lay the table out so each block starts on its first planned path.
@@ -131,21 +266,29 @@ class LAORAMClient(PathORAM):
         This is a trusted-setup operation (the same trust assumption PathORAM
         makes for its initial bulk load): it may only run before the first
         adversary-visible access, and it is not charged to the traffic
-        counters.
+        counters.  The first planned occurrence of every placed block is
+        marked consumed so the first in-trace reassignment cannot be handed
+        the same leaf again (which an adversary could link).
         """
         if self.counter.logical_accesses:
             raise ConfigurationError(
                 "initial placement can only be applied before any access"
             )
         # Reassign initial paths: first planned occurrence when available.
-        for block_id in range(self.config.num_blocks):
-            leaf = plan.next_leaf(block_id, after_index=-1)
-            if leaf is not None:
-                self.position_map.set(block_id, leaf)
+        initial = plan.initial_leaves(self.config.num_blocks)
+        for block_id in np.nonzero(initial >= 0)[0].tolist():
+            self.position_map.set(block_id, int(initial[block_id]))
+        plan.consume_first_occurrences(self.config.num_blocks)
         # Rebuild the tree layout under the new position map, preserving any
-        # payloads installed by load_payloads().
-        blocks = list(self.tree.iter_blocks()) + [self.stash.pop(b) for b in self.stash.block_ids]
-        blocks = [block for block in blocks if block is not None]
+        # payloads installed by load_payloads().  The stash id list is
+        # snapshotted before popping so removal cannot perturb the iteration,
+        # and blocks are re-placed in canonical block-id order (the same
+        # order the initial bulk load uses).
+        blocks = {block.block_id: block for block in self.tree.iter_blocks()}
+        for block_id in list(self.stash.block_ids):
+            block = self.stash.pop(block_id)
+            if block is not None:
+                blocks[block.block_id] = block
         self.tree = type(self.tree)(
             depth=self.config.depth,
             bucket_capacities=self.config.bucket_capacities(),
@@ -153,7 +296,8 @@ class LAORAMClient(PathORAM):
             metadata_bytes_per_block=self.config.metadata_bytes_per_block,
         )
         self.stash.clear()
-        for block in blocks:
+        for block_id in sorted(blocks):
+            block = blocks[block_id]
             block.leaf = self.position_map.get(block.block_id)
             if not self.tree.try_place_on_path(block):
                 self.stash.add(block)
@@ -218,99 +362,3 @@ class LAORAMClient(PathORAM):
         self._maybe_background_evict()
         self.counter.observe_stash(len(self.stash))
         return payloads
-
-    def access_many(self, block_ids: Sequence[int]) -> list[Optional[object]]:
-        """Batched read access: ids are grouped into superblock-sized bins.
-
-        This is the entry point the embedding trainer uses: each consecutive
-        group of ``superblock_size`` requested rows is served as one
-        superblock, so blocks sharing a path cost a single fetch.  Bin
-        boundaries are aligned to the global access index so they coincide
-        with the boundaries the preprocessor used when planning the trace.
-        """
-        ids = [int(b) for b in block_ids]
-        payloads: list[Optional[object]] = []
-        offset = 0
-        while offset < len(ids):
-            chunk = tuple(ids[offset : offset + self._next_bin_length()])
-            superblock = SuperblockBin(
-                bin_id=-1,
-                start_index=self._trace_cursor,
-                block_ids=chunk,
-                leaf=0,
-            )
-            payloads.extend(self.access_superblock(superblock))
-            offset += len(chunk)
-        return payloads
-
-    def _next_bin_length(self) -> int:
-        """Length of the next ad-hoc bin so it ends on a superblock boundary."""
-        size = self.laoram_config.superblock_size
-        return size - (self._trace_cursor % size)
-
-    def write_many(
-        self, block_ids: Sequence[int], payloads: Sequence[object]
-    ) -> None:
-        """Batched write access: like :meth:`access_many` but storing payloads.
-
-        Gradient write-backs of a training minibatch go through here so that
-        updated rows sharing a path cost a single fetch, mirroring the read
-        side.  Duplicate ids within the batch keep the last payload.
-        """
-        ids = [int(b) for b in block_ids]
-        if len(ids) != len(payloads):
-            raise ConfigurationError("block_ids and payloads must have equal length")
-        offset = 0
-        while offset < len(ids):
-            take = self._next_bin_length()
-            chunk = ids[offset : offset + take]
-            updates = dict(zip(chunk, payloads[offset : offset + take]))
-            superblock = SuperblockBin(
-                bin_id=-1,
-                start_index=self._trace_cursor,
-                block_ids=tuple(chunk),
-                leaf=0,
-            )
-            self.access_superblock(superblock, new_payloads=updates)
-            offset += len(chunk)
-
-    @property
-    def trace_cursor(self) -> int:
-        """Number of planned accesses consumed so far (plan lookup position)."""
-        return self._trace_cursor
-
-    # ------------------------------------------------------------------
-    # Single-access compatibility path
-    # ------------------------------------------------------------------
-    def access(
-        self,
-        block_id: int,
-        op: AccessOp = AccessOp.READ,
-        new_payload: Optional[object] = None,
-    ) -> Optional[object]:
-        """Single-block access (PathORAM semantics, plan-driven remapping)."""
-        payload = super().access(block_id, op, new_payload)
-        self._trace_cursor += 1
-        return payload
-
-    def _choose_new_leaf(self, block_id: int) -> int:
-        return self._planned_leaf(block_id, after_index=self._trace_cursor)
-
-    def _planned_leaf(self, block_id: int, after_index: int) -> int:
-        if self._plan is not None:
-            leaf = self._plan.consume_next_leaf(block_id, after_index)
-            if leaf is not None:
-                return leaf
-        return int(self.rng.integers(0, self.config.num_leaves))
-
-    # ------------------------------------------------------------------
-    # Diagnostics
-    # ------------------------------------------------------------------
-    @property
-    def superblock_size(self) -> int:
-        """Configured superblock size ``S``."""
-        return self.laoram_config.superblock_size
-
-    def describe(self) -> str:
-        """Configuration label in the paper's notation (e.g. ``"Fat/S4"``)."""
-        return self.laoram_config.describe()

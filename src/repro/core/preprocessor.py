@@ -21,7 +21,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.exceptions import ConfigurationError, TraceError
-from repro.core.superblock import LookaheadPlan, SuperblockBin
+from repro.core.superblock import LookaheadPlan
 from repro.utils.rng import make_rng
 
 
@@ -66,24 +66,22 @@ class Preprocessor:
         consistent occurrence indices.
         """
         addr = self._validate(addresses)
-        bins: list[SuperblockBin] = []
         leaves = self.rng.integers(
             0,
             self.num_leaves,
             size=self._num_bins(addr.size),
             dtype=np.int64,
         )
-        for bin_id, offset in enumerate(range(0, addr.size, self.superblock_size)):
-            chunk = addr[offset : offset + self.superblock_size]
-            bins.append(
-                SuperblockBin(
-                    bin_id=bin_id,
-                    start_index=start_index + offset,
-                    block_ids=tuple(int(b) for b in chunk),
-                    leaf=int(leaves[bin_id]),
-                )
-            )
-        return LookaheadPlan(bins, num_leaves=self.num_leaves)
+        # Vectorized construction: the plan groups occurrences by block id
+        # with array operations; SuperblockBin objects are only materialised
+        # if a caller asks for plan.bins.
+        return LookaheadPlan.from_arrays(
+            addr,
+            leaves,
+            superblock_size=self.superblock_size,
+            num_leaves=self.num_leaves,
+            start_index=start_index,
+        )
 
     def scan_statistics(self, addresses: Sequence[int] | np.ndarray) -> ScanStatistics:
         """Cheap summary of the window (unique blocks, duplicate rate, bins)."""

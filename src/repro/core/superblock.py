@@ -8,13 +8,22 @@ path) each future occurrence belongs to.  When the client writes a block back
 it asks the plan for the block's next occurrence and uses that bin's path as
 the block's new position, so that by the time the bin is processed all of its
 blocks sit on a single path.
+
+The plan is stored as flat numpy arrays (occurrence indices and bin leaves
+grouped by block id via one stable argsort) so that million-access windows
+can be planned without per-access Python work.  :class:`SuperblockBin`
+objects are materialised lazily and only for callers that want the
+object-level view; the vectorized execution engine iterates the underlying
+arrays directly through :meth:`LookaheadPlan.iter_bin_arrays`.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -51,32 +60,165 @@ class SuperblockBin:
 
 
 class LookaheadPlan:
-    """Future-path metadata for a window of the access trace."""
+    """Future-path metadata for a window of the access trace.
+
+    Internally the plan keeps three parallel arrays sorted by ``(block id,
+    occurrence index)``: the block id, the global trace index and the bin
+    leaf of every planned access.  Per-block occurrence lookups are two
+    ``searchsorted`` calls; no per-access Python objects are created.
+    """
 
     def __init__(self, bins: Sequence[SuperblockBin], num_leaves: int):
         if num_leaves < 2:
             raise ValueError("num_leaves must be >= 2")
-        self._bins = tuple(bins)
+        bins = tuple(bins)
+        if bins:
+            ids = np.concatenate(
+                [np.asarray(sb.block_ids, dtype=np.int64) for sb in bins]
+            )
+            occ = np.concatenate(
+                [sb.start_index + np.arange(len(sb), dtype=np.int64) for sb in bins]
+            )
+            leaf = np.repeat(
+                np.asarray([sb.leaf for sb in bins], dtype=np.int64),
+                np.asarray([len(sb) for sb in bins], dtype=np.int64),
+            )
+        else:
+            ids = occ = leaf = np.empty(0, dtype=np.int64)
+        self._init_arrays(ids, occ, leaf, num_leaves)
+        self._bins: Optional[tuple[SuperblockBin, ...]] = bins
+        # Raw window arrays (only set by from_arrays; used for lazy bins).
+        self._addresses: Optional[np.ndarray] = None
+        self._bin_leaves: Optional[np.ndarray] = None
+        self._superblock_size = 0
+        self._start_index = 0
+
+    @classmethod
+    def from_arrays(
+        cls,
+        addresses: np.ndarray,
+        bin_leaves: np.ndarray,
+        superblock_size: int,
+        num_leaves: int,
+        start_index: int = 0,
+    ) -> "LookaheadPlan":
+        """Build a plan directly from a window's address and bin-leaf arrays.
+
+        ``addresses`` is the access stream of the window; ``bin_leaves`` holds
+        one uniformly random leaf per bin of ``superblock_size`` consecutive
+        accesses.  This is the vectorized construction path the preprocessor
+        uses: no :class:`SuperblockBin` objects are created until a caller
+        asks for :attr:`bins`.
+        """
+        if num_leaves < 2:
+            raise ValueError("num_leaves must be >= 2")
+        if superblock_size < 1:
+            raise ValueError("superblock_size must be >= 1")
+        addresses = np.ascontiguousarray(addresses, dtype=np.int64)
+        bin_leaves = np.ascontiguousarray(bin_leaves, dtype=np.int64)
+        n = addresses.size
+        expected_bins = -(-n // superblock_size) if n else 0
+        if bin_leaves.size != expected_bins:
+            raise ValueError(
+                f"need {expected_bins} bin leaves for {n} accesses, "
+                f"got {bin_leaves.size}"
+            )
+        plan = cls.__new__(cls)
+        occ = start_index + np.arange(n, dtype=np.int64)
+        leaf = bin_leaves[np.arange(n, dtype=np.int64) // superblock_size]
+        plan._init_arrays(addresses, occ, leaf, num_leaves)
+        plan._bins = None
+        plan._addresses = addresses
+        plan._bin_leaves = bin_leaves
+        plan._superblock_size = superblock_size
+        plan._start_index = start_index
+        return plan
+
+    def _init_arrays(
+        self,
+        ids: np.ndarray,
+        occ: np.ndarray,
+        leaf: np.ndarray,
+        num_leaves: int,
+    ) -> None:
         self._num_leaves = num_leaves
-        # Per block: parallel lists of occurrence indices and the leaf of the
-        # bin containing that occurrence, both in increasing trace order.
-        self._occurrence_index: dict[int, list[int]] = {}
-        self._occurrence_leaf: dict[int, list[int]] = {}
+        self._num_accesses = int(ids.size)
+        # Group occurrences by block id with one stable sort; within a block
+        # the occurrence indices stay in increasing trace order.
+        order = np.argsort(ids, kind="stable")
+        self._sorted_ids = ids[order]
+        self._sorted_occ = occ[order]
+        self._sorted_leaf = leaf[order]
+        self._uniq, self._starts = np.unique(self._sorted_ids, return_index=True)
+        self._ends = np.append(self._starts[1:], self._sorted_ids.size)
+        # Python-side mirrors for the per-access lookup path (next_leaf /
+        # consume_next_leaf / occurrences): dict + bisect runs ~10x faster
+        # than per-call searchsorted on tiny array views.  Built lazily so
+        # the vectorized engine, which executes whole windows through
+        # plan_bin_remaps(), never pays the O(n) list/dict construction.
+        self._occ_list: Optional[list[int]] = None
+        self._leaf_list: Optional[list[int]] = None
+        self._ranges: Optional[dict[int, tuple[int, int]]] = None
         # Highest occurrence index already handed out by consume_next_leaf;
         # ensures every planned path is used as a reassignment at most once.
         self._consumed_up_to: dict[int, int] = {}
-        for sb in self._bins:
-            for offset, block_id in enumerate(sb.block_ids):
-                self._occurrence_index.setdefault(block_id, []).append(
-                    sb.start_index + offset
+
+    def _lookup_tables(
+        self,
+    ) -> tuple[list[int], list[int], dict[int, tuple[int, int]]]:
+        """Occurrence/leaf lists and per-block ranges for bisect lookups."""
+        if self._ranges is None:
+            self._occ_list = self._sorted_occ.tolist()
+            self._leaf_list = self._sorted_leaf.tolist()
+            self._ranges = dict(
+                zip(
+                    self._uniq.tolist(),
+                    zip(self._starts.tolist(), self._ends.tolist()),
                 )
-                self._occurrence_leaf.setdefault(block_id, []).append(sb.leaf)
+            )
+        return self._occ_list, self._leaf_list, self._ranges
 
     # ------------------------------------------------------------------
     @property
     def bins(self) -> tuple[SuperblockBin, ...]:
-        """Every superblock bin in trace order."""
+        """Every superblock bin in trace order (materialised on demand)."""
+        if self._bins is None:
+            addresses = self._addresses
+            size = self._superblock_size
+            assert addresses is not None and self._bin_leaves is not None
+            leaves = self._bin_leaves.tolist()
+            self._bins = tuple(
+                SuperblockBin(
+                    bin_id=bin_id,
+                    start_index=self._start_index + offset,
+                    block_ids=tuple(addresses[offset : offset + size].tolist()),
+                    leaf=leaves[bin_id],
+                )
+                for bin_id, offset in enumerate(range(0, addresses.size, size))
+            )
         return self._bins
+
+    def iter_bin_arrays(self) -> Iterator[tuple[int, np.ndarray, int]]:
+        """Yield ``(start_index, block_ids, leaf)`` per bin without objects.
+
+        This is the hot-path iteration the array-backed engine uses: block
+        ids stay numpy slices of the window's address array.
+        """
+        if self._addresses is not None:
+            size = self._superblock_size
+            for bin_id, offset in enumerate(range(0, self._addresses.size, size)):
+                yield (
+                    self._start_index + offset,
+                    self._addresses[offset : offset + size],
+                    int(self._bin_leaves[bin_id]),
+                )
+        else:
+            for sb in self.bins:
+                yield (
+                    sb.start_index,
+                    np.asarray(sb.block_ids, dtype=np.int64),
+                    sb.leaf,
+                )
 
     @property
     def num_leaves(self) -> int:
@@ -86,13 +228,21 @@ class LookaheadPlan:
     @property
     def num_accesses(self) -> int:
         """Total number of accesses covered by the plan."""
-        return sum(len(sb) for sb in self._bins)
+        return self._num_accesses
+
+    @property
+    def max_block_id(self) -> int:
+        """Largest block id planned in this window (``-1`` for an empty plan)."""
+        return int(self._uniq[-1]) if self._uniq.size else -1
 
     def __len__(self) -> int:
-        return len(self._bins)
+        if self._addresses is not None and self._bins is None:
+            size = self._superblock_size
+            return -(-int(self._addresses.size) // size) if self._addresses.size else 0
+        return len(self.bins)
 
     def __iter__(self) -> Iterable[SuperblockBin]:
-        return iter(self._bins)
+        return iter(self.bins)
 
     # ------------------------------------------------------------------
     def next_leaf(self, block_id: int, after_index: int) -> Optional[int]:
@@ -102,13 +252,15 @@ class LookaheadPlan:
         planned window, in which case the client falls back to a uniformly
         random path (the plan then carries no information about the block).
         """
-        indices = self._occurrence_index.get(block_id)
-        if not indices:
+        occ_list, leaf_list, ranges = self._lookup_tables()
+        bounds = ranges.get(block_id)
+        if bounds is None:
             return None
-        pos = bisect_right(indices, after_index)
-        if pos >= len(indices):
+        start, end = bounds
+        pos = bisect_right(occ_list, after_index, start, end)
+        if pos >= end:
             return None
-        return self._occurrence_leaf[block_id][pos]
+        return leaf_list[pos]
 
     def consume_next_leaf(self, block_id: int, after_index: int) -> Optional[int]:
         """Like :meth:`next_leaf`, but each planned occurrence is used once.
@@ -120,25 +272,147 @@ class LookaheadPlan:
         accesses.  Consuming occurrences makes every reassignment an
         independent uniform draw, exactly as in PathORAM.
         """
-        indices = self._occurrence_index.get(block_id)
-        if not indices:
+        occ_list, leaf_list, ranges = self._lookup_tables()
+        bounds = ranges.get(block_id)
+        if bounds is None:
             return None
+        start, end = bounds
         floor = max(after_index, self._consumed_up_to.get(block_id, -1))
-        pos = bisect_right(indices, floor)
-        if pos >= len(indices):
+        pos = bisect_right(occ_list, floor, start, end)
+        if pos >= end:
             return None
-        self._consumed_up_to[block_id] = indices[pos]
-        return self._occurrence_leaf[block_id][pos]
+        self._consumed_up_to[block_id] = occ_list[pos]
+        return leaf_list[pos]
+
+    def initial_leaves(self, num_blocks: int) -> np.ndarray:
+        """First-occurrence leaf per block id, ``-1`` for blocks not planned.
+
+        Used by trusted-setup initial placement: block ``b`` should start on
+        the path of the superblock bin containing its first planned access.
+        Only ids below ``num_blocks`` are reported.
+        """
+        out = np.full(num_blocks, -1, dtype=np.int64)
+        if self._uniq.size:
+            mask = (self._uniq >= 0) & (self._uniq < num_blocks)
+            out[self._uniq[mask]] = self._sorted_leaf[self._starts[mask]]
+        return out
+
+    def consume_first_occurrences(self, num_blocks: int) -> None:
+        """Mark occurrence 0 of every planned block (id < ``num_blocks``) consumed.
+
+        Initial placement uses each block's first planned path; without
+        consuming that occurrence the first in-trace reassignment could be
+        handed the *same* leaf again, producing a linkable repeated-leaf
+        observation.  Equivalent to ``consume_next_leaf(b, -1)`` per block.
+        """
+        if not self._uniq.size:
+            return
+        mask = (self._uniq >= 0) & (self._uniq < num_blocks)
+        ids = self._uniq[mask].tolist()
+        first_occ = self._sorted_occ[self._starts[mask]].tolist()
+        for block_id, occ in zip(ids, first_occ):
+            if self._consumed_up_to.get(block_id, -1) < occ:
+                self._consumed_up_to[block_id] = occ
+
+    def plan_bin_remaps(
+        self,
+    ) -> Optional[tuple[list[list[int]], list[tuple[int, int]]]]:
+        """Precompute every bin's remap leaves for a pure window execution.
+
+        When ``run_trace`` executes this window bin by bin, the sequence of
+        ``consume_next_leaf`` calls is fully determined by the trace: each
+        bin asks once per distinct block with ``after_index`` = the bin's end,
+        so the answer is always the leaf of the block's *next* bin (or a
+        uniform fallback when there is none).  That makes the whole window
+        precomputable in a handful of array passes.
+
+        Returns ``(remaps, final_consumed)``: ``remaps[j]`` lists, for bin
+        ``j``'s distinct blocks in first-occurrence order, the next bin's
+        leaf or ``-1`` (fallback draw); ``final_consumed`` is the
+        ``(block_id, occurrence_index)`` state the equivalent call sequence
+        leaves behind, to be applied via :meth:`apply_consumption`.  Only
+        available for plans built through :meth:`from_arrays`; returns
+        ``None`` otherwise.
+        """
+        if self._addresses is None:
+            return None
+        n = self._num_accesses
+        size = self._superblock_size
+        if n == 0:
+            return [], []
+        sid = self._sorted_ids
+        socc = self._sorted_occ
+        bin_idx = (socc - self._start_index) // size
+        # First occurrence of each (block, bin) pair, in (block, occ) order.
+        block_boundary = np.empty(n, dtype=bool)
+        block_boundary[0] = True
+        np.not_equal(sid[1:], sid[:-1], out=block_boundary[1:])
+        bin_boundary = np.empty(n, dtype=bool)
+        bin_boundary[0] = True
+        bin_boundary[1:] = block_boundary[1:] | (bin_idx[1:] != bin_idx[:-1])
+        first = np.nonzero(bin_boundary)[0]
+        fb_block = sid[first]
+        fb_bin = bin_idx[first]
+        fb_occ = socc[first]
+        entries = first.size
+        values = np.full(entries, -1, dtype=np.int64)
+        if entries > 1:
+            has_next = np.nonzero(fb_block[1:] == fb_block[:-1])[0]
+            values[has_next] = self._bin_leaves[fb_bin[has_next + 1]]
+        # Bins are contiguous occurrence ranges, so sorting the entries by
+        # occurrence groups them by bin in first-occurrence order.
+        order = np.argsort(fb_occ, kind="stable")
+        sorted_values = values[order].tolist()
+        counts = np.bincount(
+            fb_bin[order], minlength=-(-n // size)
+        ).tolist()
+        remaps: list[list[int]] = []
+        position = 0
+        for count in counts:
+            remaps.append(sorted_values[position : position + count])
+            position += count
+        # Final consumption state: a block appearing in >= 2 bins ends with
+        # its last bin's first occurrence consumed (the last successful
+        # consume); single-bin blocks leave no new state behind.
+        last_of_block = np.empty(entries, dtype=bool)
+        last_of_block[-1] = True
+        np.not_equal(fb_block[1:], fb_block[:-1], out=last_of_block[:-1])
+        first_of_block = np.empty(entries, dtype=bool)
+        first_of_block[0] = True
+        first_of_block[1:] = last_of_block[:-1]
+        multi_last = last_of_block & ~first_of_block
+        final_consumed = list(
+            zip(fb_block[multi_last].tolist(), fb_occ[multi_last].tolist())
+        )
+        return remaps, final_consumed
+
+    def apply_consumption(self, final_consumed: list[tuple[int, int]]) -> None:
+        """Install the consumption state computed by :meth:`plan_bin_remaps`."""
+        consumed = self._consumed_up_to
+        for block_id, occ in final_consumed:
+            if consumed.get(block_id, -1) < occ:
+                consumed[block_id] = occ
 
     def occurrences(self, block_id: int) -> list[int]:
         """Trace indices at which ``block_id`` is accessed within the window."""
-        return list(self._occurrence_index.get(block_id, []))
+        occ_list, _, ranges = self._lookup_tables()
+        bounds = ranges.get(block_id)
+        if bounds is None:
+            return []
+        start, end = bounds
+        return occ_list[start:end]
 
     def metadata_bytes(self) -> int:
-        """Approximate size of the (superblock, future path) metadata.
+        """Size of the (block id, future path) metadata the preprocessor ships.
 
-        This is what the preprocessor transmits to the trainer GPU: one
-        (block id, path) pair per planned access, 12 bytes each (8-byte id +
-        4-byte path).
+        One (block id, path) pair per planned access.  The id field is sized
+        by the widest planned block id and the path field by ``num_leaves``,
+        both rounded up to whole bytes — a 2^25-leaf tree needs 4 path bytes,
+        a 16-leaf test tree just one.
         """
-        return 12 * self.num_accesses
+        if self._num_accesses == 0:
+            return 0
+        max_id = int(self._uniq[-1]) if self._uniq.size else 0
+        id_bytes = max(1, (max(max_id, 0).bit_length() + 7) // 8)
+        leaf_bytes = max(1, ((self._num_leaves - 1).bit_length() + 7) // 8)
+        return self._num_accesses * (id_bytes + leaf_bytes)

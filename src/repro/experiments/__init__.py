@@ -10,6 +10,7 @@ from repro.experiments.metrics import ExperimentResult
 from repro.experiments.plotting import ascii_bar_chart, ascii_line_chart
 from repro.experiments.runner import compare_configurations, run_configuration
 from repro.experiments.scale import ExperimentScale
+from repro.experiments.sharded import ShardedRunner, ShardResult
 
 __all__ = [
     "PAPER_CONFIG_LABELS",
@@ -22,4 +23,6 @@ __all__ = [
     "compare_configurations",
     "ascii_bar_chart",
     "ascii_line_chart",
+    "ShardedRunner",
+    "ShardResult",
 ]

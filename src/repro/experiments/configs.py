@@ -13,9 +13,11 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import LAORAMConfig
+from repro.core.fast_laoram import FastLAORAMClient
 from repro.core.laoram import LAORAMClient
 from repro.exceptions import ConfigurationError
 from repro.memory.accounting import TrafficCounter
+from repro.oram.array_path_oram import ArrayPathORAM
 from repro.oram.base import ObliviousMemory
 from repro.oram.config import ORAMConfig
 from repro.oram.eviction import EvictionPolicy
@@ -109,15 +111,27 @@ def build_engine(
     counter: Optional[TrafficCounter] = None,
     observer=None,
     seed: Optional[int] = None,
+    fast: bool = False,
 ) -> ObliviousMemory:
-    """Instantiate the engine named by ``label`` on the given tree geometry."""
+    """Instantiate the engine named by ``label`` on the given tree geometry.
+
+    ``fast=True`` selects the array-backed vectorized engine for the
+    families that have one (PathORAM -> :class:`ArrayPathORAM`, LAORAM ->
+    :class:`FastLAORAMClient`); both twins produce counters identical to the
+    per-object engines for a fixed seed, only faster.
+    """
     parsed = parse_label(label)
     config = oram_config if seed is None else oram_config.with_overrides(seed=seed)
     family = parsed["family"]
+    if fast and family not in ("pathoram", "laoram"):
+        raise ConfigurationError(
+            f"no vectorized engine exists for configuration '{label}'"
+        )
     if family == "insecure":
         return InsecureMemory(config, counter=counter, observer=observer)
     if family == "pathoram":
-        return PathORAM(
+        engine_cls = ArrayPathORAM if fast else PathORAM
+        return engine_cls(
             config, counter=counter, eviction=eviction, observer=observer
         )
     if family == "ringoram":
@@ -136,7 +150,8 @@ def build_engine(
             oram=config.with_overrides(fat_tree=parsed["fat_tree"]),
             superblock_size=parsed["superblock_size"],
         )
-        return LAORAMClient(
+        engine_cls = FastLAORAMClient if fast else LAORAMClient
+        return engine_cls(
             laoram_config, counter=counter, eviction=eviction, observer=observer
         )
     raise ConfigurationError(f"unhandled configuration family '{family}'")

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.laoram import LAORAMClient
+from repro.core.laoram import LookaheadClientMixin
 from repro.datasets.base import AccessTrace
 from repro.experiments.configs import build_engine
 from repro.experiments.metrics import ExperimentResult
@@ -22,13 +22,14 @@ def run_engine_on_trace(
 ) -> ExperimentResult:
     """Execute every access of ``trace`` on ``engine`` and summarise the run.
 
-    LAORAM clients consume the trace through their lookahead pipeline
-    (preprocessing plus superblock-granularity accesses); every other engine
-    performs one oblivious access per trace element.
+    LAORAM clients (both the per-object and the array-backed engine) consume
+    the trace through their lookahead pipeline (preprocessing plus
+    superblock-granularity accesses); every other engine performs one
+    oblivious access per trace element.
     """
     if record_stash_history and hasattr(engine, "counter"):
         engine.counter.record_stash_history = True
-    if isinstance(engine, LAORAMClient):
+    if isinstance(engine, LookaheadClientMixin):
         engine.run_trace(trace.addresses)
     else:
         engine.access_many(trace.addresses)
@@ -55,6 +56,7 @@ def run_configuration(
     seed: Optional[int] = None,
     record_stash_history: bool = False,
     observer=None,
+    fast: bool = False,
 ) -> ExperimentResult:
     """Build the engine named ``label`` and run it over ``trace``."""
     engine = build_engine(
@@ -64,6 +66,7 @@ def run_configuration(
         counter=TrafficCounter(),
         observer=observer,
         seed=seed,
+        fast=fast,
     )
     return run_engine_on_trace(
         engine, trace, label, record_stash_history=record_stash_history

@@ -8,7 +8,8 @@ and stash occupancy over time (Fig. 8).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Iterable
 
 
 @dataclass(frozen=True)
@@ -49,6 +50,25 @@ class TrafficSnapshot:
         if self.logical_accesses == 0:
             return 0.0
         return self.total_paths_touched / self.logical_accesses
+
+
+def merge_snapshots(snapshots: "Iterable[TrafficSnapshot]") -> TrafficSnapshot:
+    """Combine per-shard snapshots into one aggregate view.
+
+    Additive counters sum; ``stash_peak`` takes the maximum because each
+    shard owns an independent stash (the aggregate peak client memory is
+    bounded by the sum, but the per-engine peak is what stash-overflow
+    analyses care about).
+    """
+    merged = TrafficCounter()
+    for snapshot in snapshots:
+        for spec in fields(TrafficSnapshot):
+            value = getattr(snapshot, spec.name)
+            if spec.name == "stash_peak":
+                merged.stash_peak = max(merged.stash_peak, value)
+            else:
+                setattr(merged, spec.name, getattr(merged, spec.name) + value)
+    return merged.snapshot()
 
 
 @dataclass

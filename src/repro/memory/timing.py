@@ -36,11 +36,19 @@ class TimingModel:
     interconnect: InterconnectModel = field(default_factory=InterconnectModel)
     client_overhead_us: float = 2.0
     _elapsed_s: float = field(default=0.0, init=False, repr=False)
+    _transfer_cache: dict = field(default_factory=dict, init=False, repr=False)
 
     def charge_path_transfer(self, num_buckets: int, num_bytes: int) -> float:
-        """Charge one path read or write and return the time added (seconds)."""
-        delta = self.dram.access_time_s(num_buckets, num_bytes)
-        delta += self.interconnect.transfer_time_s(1, num_bytes)
+        """Charge one path read or write and return the time added (seconds).
+
+        Path geometry is fixed per tree, so the per-path delta is memoised;
+        millions of identical charges cost one dict lookup each.
+        """
+        delta = self._transfer_cache.get((num_buckets, num_bytes))
+        if delta is None:
+            delta = self.dram.access_time_s(num_buckets, num_bytes)
+            delta += self.interconnect.transfer_time_s(1, num_bytes)
+            self._transfer_cache[(num_buckets, num_bytes)] = delta
         self._elapsed_s += delta
         return delta
 

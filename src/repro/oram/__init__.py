@@ -1,5 +1,13 @@
-"""ORAM substrates: PathORAM, PrORAM, RingORAM and the insecure baseline."""
+"""ORAM substrates: PathORAM, PrORAM, RingORAM and the insecure baseline.
 
+PathORAM ships in two decision-identical flavours: the per-object reference
+:class:`PathORAM` (dict stash, Block objects) and the vectorized
+:class:`ArrayPathORAM` (:class:`ArrayTreeStorage` slot arrays plus an
+:class:`ArrayStash` of id/leaf rows), which produces bit-identical traffic
+counters for a fixed seed.
+"""
+
+from repro.oram.array_path_oram import ArrayPathORAM
 from repro.oram.base import AccessOp, ObliviousMemory
 from repro.oram.config import ORAMConfig, FatTreePolicy
 from repro.oram.eviction import EvictionPolicy
@@ -8,8 +16,8 @@ from repro.oram.path_oram import PathORAM
 from repro.oram.position_map import PositionMap
 from repro.oram.pr_oram import PrORAM, SuperblockMode
 from repro.oram.ring_oram import RingORAM
-from repro.oram.stash import Stash
-from repro.oram.tree import TreeStorage
+from repro.oram.stash import ArrayStash, Stash
+from repro.oram.tree import ArrayTreeStorage, TreeStorage
 
 __all__ = [
     "AccessOp",
@@ -19,10 +27,13 @@ __all__ = [
     "EvictionPolicy",
     "InsecureMemory",
     "PathORAM",
+    "ArrayPathORAM",
     "PositionMap",
     "PrORAM",
     "SuperblockMode",
     "RingORAM",
     "Stash",
+    "ArrayStash",
     "TreeStorage",
+    "ArrayTreeStorage",
 ]

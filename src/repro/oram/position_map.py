@@ -50,6 +50,29 @@ class PositionMap:
             raise BlockNotFoundError("block id outside position map range")
         return self._leaves[ids]
 
+    def set_many(self, block_ids, leaves) -> None:
+        """Vectorised reassignment of several block ids."""
+        ids = np.asarray(block_ids, dtype=np.int64)
+        new_leaves = np.asarray(leaves, dtype=np.int64)
+        if ids.size != new_leaves.size:
+            raise ConfigurationError("block_ids and leaves must have equal length")
+        if ids.size == 0:
+            return
+        if ids.min() < 0 or ids.max() >= self._leaves.size:
+            raise BlockNotFoundError("block id outside position map range")
+        if new_leaves.min() < 0 or new_leaves.max() >= self._num_leaves:
+            raise ConfigurationError("leaf outside position map leaf range")
+        self._leaves[ids] = new_leaves
+
+    @property
+    def leaves(self) -> np.ndarray:
+        """The live leaf array (no copy) for vectorised engines.
+
+        Callers must treat this as read-only; mutate through :meth:`set` /
+        :meth:`set_many` so range checks stay in force.
+        """
+        return self._leaves
+
     def as_array(self) -> np.ndarray:
         """Copy of the full map (used by tests and diagnostics)."""
         return self._leaves.copy()

@@ -4,11 +4,19 @@ Supports both the uniform-bucket ("normal") tree and the fat-tree
 organisation of the paper, where bucket capacity grows from the leaves to
 the root.  Byte accounting always charges full bucket capacity (real plus
 dummy slots) because the server must transfer indistinguishable buckets.
+
+Two backends share the same geometry: :class:`TreeStorage` keeps per-bucket
+lists of :class:`~repro.memory.block.Block` objects (the reference engine),
+and :class:`ArrayTreeStorage` keeps one ``(nodes, capacity)`` ``int64`` slot
+array plus an occupancy vector per level, so path reads, write-backs and the
+initial bulk placement are numpy operations instead of per-block Python.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.memory.block import Block
@@ -157,3 +165,256 @@ class TreeStorage:
         """Iterate over every real block in the tree."""
         for bucket in self._buckets:
             yield from bucket
+
+
+class ArrayTreeStorage:
+    """Array-backed complete binary tree of buckets.
+
+    All slots live in one flat ``int64`` array (``-1`` marks a dummy slot)
+    laid out level by level, node by node, plus one occupancy counter per
+    node; slots ``0..occ-1`` of a node hold real blocks in insertion order,
+    matching the list order of the per-object :class:`TreeStorage` buckets.
+    Precomputed per-slot templates turn a whole path read into four numpy
+    operations instead of a per-level Python walk.  Only ids are stored: a
+    block's leaf is authoritative in the position map, and the vectorized
+    engine keeps payloads in a client-side store.
+    """
+
+    def __init__(
+        self,
+        depth: int,
+        bucket_capacities: Sequence[int],
+        block_size_bytes: int,
+        metadata_bytes_per_block: int = 16,
+    ):
+        if depth < 1:
+            raise ConfigurationError("depth must be >= 1")
+        if len(bucket_capacities) != depth + 1:
+            raise ConfigurationError(
+                f"need {depth + 1} per-level capacities, got {len(bucket_capacities)}"
+            )
+        if block_size_bytes < 1:
+            raise ConfigurationError("block_size_bytes must be >= 1")
+        self.depth = depth
+        self.bucket_capacities = tuple(int(c) for c in bucket_capacities)
+        self.block_size_bytes = block_size_bytes
+        self.metadata_bytes_per_block = metadata_bytes_per_block
+        caps = self.bucket_capacities
+        # Slot-region start of each level within the flat slot array.
+        bases = [0]
+        for level, capacity in enumerate(caps):
+            bases.append(bases[-1] + (1 << level) * capacity)
+        self._level_base = tuple(bases[:-1])
+        self._slots = np.full(bases[-1], -1, dtype=np.int64)
+        self._occ = np.zeros((1 << (depth + 1)) - 1, dtype=np.int64)
+        self._path_slots = sum(caps)
+        # Per-slot templates of one path: the slot indices of the path to
+        # ``leaf`` are  tmpl_base + (leaf >> tmpl_shift) * tmpl_cap + tmpl_off.
+        shift, base, cap_arr, off = [], [], [], []
+        for level, capacity in enumerate(caps):
+            shift.extend([depth - level] * capacity)
+            base.extend([self._level_base[level]] * capacity)
+            cap_arr.extend([capacity] * capacity)
+            off.extend(range(capacity))
+        self._tmpl_shift = np.asarray(shift, dtype=np.int64)
+        self._tmpl_cap = np.asarray(cap_arr, dtype=np.int64)
+        # base and offset are both per-slot constants: fold them into one.
+        self._tmpl_const = np.asarray(base, dtype=np.int64) + np.asarray(
+            off, dtype=np.int64
+        )
+        # Per-node templates: global bucket index of the path's node at each
+        # level is  node_base + (leaf >> node_shift).
+        self._node_shift = np.arange(depth, -1, -1, dtype=np.int64)
+        self._node_base = (1 << np.arange(depth + 1, dtype=np.int64)) - 1
+        # Every path has the same geometry, so its transfer cost is fixed.
+        self._path_cost = (
+            depth + 1,
+            self._path_slots * (block_size_bytes + metadata_bytes_per_block),
+        )
+
+    # ------------------------------------------------------------------
+    # Geometry helpers (same accounting as TreeStorage)
+    # ------------------------------------------------------------------
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaves (paths)."""
+        return 1 << self.depth
+
+    @property
+    def num_buckets(self) -> int:
+        """Total number of buckets."""
+        return (1 << (self.depth + 1)) - 1
+
+    def capacity_at_level(self, level: int) -> int:
+        """Bucket capacity at ``level`` (root is level 0)."""
+        return self.bucket_capacities[level]
+
+    @property
+    def stored_block_bytes(self) -> int:
+        """Bytes one slot occupies on the wire (payload + metadata)."""
+        return self.block_size_bytes + self.metadata_bytes_per_block
+
+    def path_cost(self, leaf: int) -> tuple[int, int]:
+        """Return ``(num_buckets, num_bytes)`` for transferring one full path."""
+        return self._path_cost
+
+    @property
+    def total_slots(self) -> int:
+        """Total number of slots (real + dummy) in the tree."""
+        return sum(
+            capacity * (1 << level)
+            for level, capacity in enumerate(self.bucket_capacities)
+        )
+
+    @property
+    def server_memory_bytes(self) -> int:
+        """Total server footprint of the tree."""
+        return self.total_slots * self.stored_block_bytes
+
+    # ------------------------------------------------------------------
+    # Path operations
+    # ------------------------------------------------------------------
+    def free_slots(self, level: int, node: int) -> int:
+        """Free capacity of the bucket ``node`` at ``level``."""
+        return self.bucket_capacities[level] - int(
+            self._occ[((1 << level) - 1) + node]
+        )
+
+    def read_path_ids(self, leaf: int) -> np.ndarray:
+        """Remove and return every real block id on the path to ``leaf``.
+
+        Ids come back in root-to-leaf order with each bucket's insertion
+        order preserved, matching :meth:`TreeStorage.read_path`.
+        """
+        slot_idx = (leaf >> self._tmpl_shift) * self._tmpl_cap
+        slot_idx += self._tmpl_const
+        ids = self._slots[slot_idx]
+        self._slots[slot_idx] = -1
+        self._occ[self._node_base + (leaf >> self._node_shift)] = 0
+        return ids[ids >= 0]
+
+    @property
+    def level_base(self) -> tuple[int, ...]:
+        """Flat-slot start offset of each level's region."""
+        return self._level_base
+
+    def path_state(self, leaf: int) -> tuple[np.ndarray, list[int]]:
+        """Bucket indices and current occupancies of the path to ``leaf``.
+
+        Returns ``(buckets, occupancies)`` ordered root to leaf; callers that
+        plan a whole-path write-back mutate the occupancy list and commit it
+        with :meth:`commit_path_write`.
+        """
+        buckets = self._node_base + (leaf >> self._node_shift)
+        return buckets, self._occ[buckets].tolist()
+
+    def commit_path_write(
+        self,
+        buckets: np.ndarray,
+        occupancies: Sequence[int],
+        slot_indices: Sequence[int],
+        values: np.ndarray,
+    ) -> None:
+        """Scatter a planned write-back in two vectorized assignments.
+
+        ``slot_indices``/``values`` are the flat slot positions and block ids
+        chosen by the caller (who guarantees they respect bucket capacity);
+        ``occupancies`` is the path's updated per-bucket occupancy.
+        """
+        self._slots[slot_indices] = values
+        self._occ[buckets] = occupancies
+
+    def write_level(self, level: int, node: int, block_ids: Sequence[int]) -> None:
+        """Append ``block_ids`` to the bucket ``node`` at ``level``."""
+        count = len(block_ids)
+        if count == 0:
+            return
+        capacity = self.bucket_capacities[level]
+        bucket = ((1 << level) - 1) + node
+        occ = int(self._occ[bucket])
+        if occ + count > capacity:
+            raise ConfigurationError(
+                f"placement overflows bucket at level {level}: "
+                f"{occ} + {count} > {capacity}"
+            )
+        start = self._level_base[level] + node * capacity + occ
+        self._slots[start : start + count] = block_ids
+        self._occ[bucket] = occ + count
+
+    # ------------------------------------------------------------------
+    # Bulk operations / diagnostics
+    # ------------------------------------------------------------------
+    def bulk_place(self, position_leaves: np.ndarray) -> np.ndarray:
+        """Greedily place blocks ``0..N-1`` as deep as possible, in id order.
+
+        ``position_leaves[b]`` is block ``b``'s assigned path.  Returns the
+        ids that found no free slot on their path (they belong in the
+        stash), in ascending order.  Equivalent to calling
+        :meth:`TreeStorage.try_place_on_path` for every id in ascending
+        order, but runs one vectorized pass per level: at each level the
+        surviving blocks are grouped by bucket and the first ``free`` ids
+        (ascending) of each bucket claim its slots.
+        """
+        leaves = np.asarray(position_leaves, dtype=np.int64)
+        remaining = np.arange(leaves.size, dtype=np.int64)
+        for level in range(self.depth, -1, -1):
+            if remaining.size == 0:
+                break
+            capacity = self.bucket_capacities[level]
+            level_ids = self._level_slots(level)
+            level_occ = self._level_occ(level)
+            nodes = leaves[remaining] >> (self.depth - level)
+            order = np.argsort(nodes, kind="stable")
+            sorted_ids = remaining[order]
+            sorted_nodes = nodes[order]
+            uniq, starts, counts = np.unique(
+                sorted_nodes, return_index=True, return_counts=True
+            )
+            rank = np.arange(sorted_ids.size, dtype=np.int64) - np.repeat(
+                starts, counts
+            )
+            slot = level_occ[sorted_nodes] + rank
+            placed = slot < capacity
+            level_ids[sorted_nodes[placed], slot[placed]] = sorted_ids[placed]
+            level_occ[uniq] = np.minimum(level_occ[uniq] + counts, capacity)
+            remaining = np.sort(sorted_ids[~placed])
+        return remaining
+
+    def _level_slots(self, level: int) -> np.ndarray:
+        """View of level ``level``'s slots shaped ``(nodes, capacity)``."""
+        capacity = self.bucket_capacities[level]
+        start = self._level_base[level]
+        return self._slots[start : start + (1 << level) * capacity].reshape(
+            1 << level, capacity
+        )
+
+    def _level_occ(self, level: int) -> np.ndarray:
+        """View of level ``level``'s per-node occupancy counters."""
+        return self._occ[(1 << level) - 1 : (1 << (level + 1)) - 1]
+
+    def real_block_count(self) -> int:
+        """Number of real blocks currently stored in the tree."""
+        return int(self._occ.sum())
+
+    def occupancy_by_level(self) -> list[float]:
+        """Average bucket utilisation per level (diagnostic for fat-tree studies)."""
+        return [
+            float(self._level_occ(level).sum())
+            / ((1 << level) * self.bucket_capacities[level])
+            for level in range(self.depth + 1)
+        ]
+
+    def iter_node_ids(self) -> Iterator[tuple[int, int, np.ndarray]]:
+        """Yield ``(level, node, block_ids)`` for every non-empty bucket."""
+        for level in range(self.depth + 1):
+            level_ids = self._level_slots(level)
+            level_occ = self._level_occ(level)
+            for node in np.nonzero(level_occ)[0].tolist():
+                yield level, node, level_ids[node, : int(level_occ[node])]
+
+    def all_block_ids(self) -> np.ndarray:
+        """Every real block id stored in the tree (unordered)."""
+        chunks = [ids for _, _, ids in self.iter_node_ids()]
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)

@@ -1,5 +1,6 @@
 """Tests for superblock bins and the lookahead plan."""
 
+import numpy as np
 import pytest
 
 from repro.core.superblock import LookaheadPlan, SuperblockBin
@@ -67,9 +68,68 @@ class TestLookaheadPlan:
         assert plan.occurrences(9) == [3, 8, 9]
         assert plan.occurrences(123) == []
 
-    def test_metadata_bytes_scales_with_accesses(self):
-        assert make_plan().metadata_bytes() == 12 * 10
+    def test_metadata_bytes_derives_from_widths(self):
+        # Ids fit one byte (max id 11) and so do the 16 leaves: 2 bytes/access.
+        assert make_plan().metadata_bytes() == 2 * 10
+        # A wide tree needs wider path fields: 2^20 leaves -> 3 leaf bytes.
+        wide = LookaheadPlan(
+            [SuperblockBin(0, 0, block_ids=(70_000, 2), leaf=9)],
+            num_leaves=1 << 20,
+        )
+        assert wide.metadata_bytes() == 2 * (3 + 3)
 
     def test_invalid_num_leaves_rejected(self):
         with pytest.raises(ValueError):
             LookaheadPlan([], num_leaves=1)
+
+
+class TestFromArrays:
+    def test_matches_classic_construction(self):
+        addresses = np.asarray([5, 7, 5, 9, 2, 5, 11, 7, 9, 9], dtype=np.int64)
+        leaves = np.asarray([3, 6, 1], dtype=np.int64)
+        plan = LookaheadPlan.from_arrays(
+            addresses, leaves, superblock_size=4, num_leaves=16
+        )
+        classic = make_plan()
+        assert plan.bins == classic.bins
+        assert plan.num_accesses == classic.num_accesses
+        for block_id in (2, 5, 7, 9, 11, 123):
+            assert plan.occurrences(block_id) == classic.occurrences(block_id)
+            for after in (-1, 0, 3, 9):
+                assert plan.next_leaf(block_id, after) == classic.next_leaf(
+                    block_id, after
+                )
+
+    def test_iter_bin_arrays_matches_bins(self):
+        addresses = np.arange(10, dtype=np.int64)
+        leaves = np.asarray([4, 2, 7], dtype=np.int64)
+        plan = LookaheadPlan.from_arrays(
+            addresses, leaves, superblock_size=4, num_leaves=8, start_index=50
+        )
+        seen = [
+            (start, tuple(ids.tolist()), leaf)
+            for start, ids, leaf in plan.iter_bin_arrays()
+        ]
+        assert seen == [
+            (sb.start_index, sb.block_ids, sb.leaf) for sb in plan.bins
+        ]
+
+    def test_bin_leaf_count_must_match(self):
+        with pytest.raises(ValueError):
+            LookaheadPlan.from_arrays(
+                np.arange(10), np.asarray([1]), superblock_size=4, num_leaves=8
+            )
+
+    def test_initial_leaves_and_consume_first_occurrences(self):
+        plan = make_plan()
+        init = plan.initial_leaves(16)
+        assert init[5] == 3  # first occurrence in bin 0
+        assert init[2] == 6  # first occurrence in bin 1
+        assert init[0] == -1  # never planned
+        plan.consume_first_occurrences(16)
+        # Block 5's occurrence 0 (index 0, leaf 3) is spent: the next
+        # reassignment moves on to index 2 (still bin 0) then bin 1.
+        assert plan.consume_next_leaf(5, after_index=-1) == 3  # index 2
+        assert plan.consume_next_leaf(5, after_index=-1) == 6  # index 5
+        # Block 9's occurrences are 3, 8, 9; occurrence 3 was consumed.
+        assert plan.consume_next_leaf(9, after_index=-1) == 1
