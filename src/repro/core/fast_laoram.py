@@ -23,39 +23,13 @@ from typing import Optional
 import numpy as np
 
 from repro.exceptions import BlockNotFoundError, ConfigurationError
-from repro.memory.accounting import TrafficCounter
-from repro.memory.timing import TimingModel
 from repro.oram.array_path_oram import ArrayPathORAM
-from repro.oram.eviction import EvictionPolicy
-from repro.oram.tree import ArrayTreeStorage
-from repro.core.config import LAORAMConfig
 from repro.core.laoram import LookaheadClientMixin
 from repro.core.superblock import LookaheadPlan, SuperblockBin
 
 
 class FastLAORAMClient(LookaheadClientMixin, ArrayPathORAM):
     """Look-ahead ORAM client over the array-backed execution engine."""
-
-    def __init__(
-        self,
-        config: LAORAMConfig,
-        timing: Optional[TimingModel] = None,
-        counter: Optional[TrafficCounter] = None,
-        eviction: Optional[EvictionPolicy] = None,
-        rng: Optional[np.random.Generator] = None,
-        observer=None,
-    ):
-        if not isinstance(config, LAORAMConfig):
-            raise ConfigurationError("FastLAORAMClient requires an LAORAMConfig")
-        super().__init__(
-            config.oram,
-            timing=timing,
-            counter=counter,
-            eviction=eviction,
-            rng=rng,
-            observer=observer,
-        )
-        self._init_lookahead(config)
 
     # ------------------------------------------------------------------
     # Plan execution
@@ -107,12 +81,7 @@ class FastLAORAMClient(LookaheadClientMixin, ArrayPathORAM):
         planned = np.nonzero(initial >= 0)[0]
         self.position_map.set_many(planned, initial[planned])
         plan.consume_first_occurrences(self.config.num_blocks)
-        self.tree = ArrayTreeStorage(
-            depth=self.config.depth,
-            bucket_capacities=self.config.bucket_capacities(),
-            block_size_bytes=self.config.block_size_bytes,
-            metadata_bytes_per_block=self.config.metadata_bytes_per_block,
-        )
+        self.tree = self._make_tree()
         self.stash.clear()
         self._bulk_load()
 

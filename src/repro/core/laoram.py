@@ -46,13 +46,37 @@ from repro.core.superblock import LookaheadPlan, SuperblockBin
 class LookaheadClientMixin:
     """Plan-driven scheduling shared by every LAORAM engine backend.
 
-    The mixin owns the preprocessor, the installed plan, the trace cursor and
-    every trace-level entry point (``run_trace``, ``access_many``,
-    ``write_many``).  Concrete engines provide the storage backend plus
-    :meth:`access_superblock` and :meth:`apply_initial_placement`.
+    The mixin owns the constructor, the preprocessor, the installed plan,
+    the trace cursor and every trace-level entry point (``run_trace``,
+    ``access_many``, ``write_many``).  Concrete engines provide the storage
+    backend plus :meth:`access_superblock` and
+    :meth:`apply_initial_placement`.
     """
 
     laoram_config: LAORAMConfig
+
+    def __init__(
+        self,
+        config: LAORAMConfig,
+        timing: Optional[TimingModel] = None,
+        counter: Optional[TrafficCounter] = None,
+        eviction: Optional[EvictionPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
+        observer=None,
+    ):
+        if not isinstance(config, LAORAMConfig):
+            raise ConfigurationError(
+                f"{type(self).__name__} requires an LAORAMConfig"
+            )
+        super().__init__(
+            config.oram,
+            timing=timing,
+            counter=counter,
+            eviction=eviction,
+            rng=rng,
+            observer=observer,
+        )
+        self._init_lookahead(config)
 
     def _init_lookahead(self, config: LAORAMConfig) -> None:
         if not isinstance(config, LAORAMConfig):
@@ -239,27 +263,6 @@ class LookaheadClientMixin:
 class LAORAMClient(LookaheadClientMixin, PathORAM):
     """Look-ahead ORAM client (the paper's contribution), per-object backend."""
 
-    def __init__(
-        self,
-        config: LAORAMConfig,
-        timing: Optional[TimingModel] = None,
-        counter: Optional[TrafficCounter] = None,
-        eviction: Optional[EvictionPolicy] = None,
-        rng: Optional[np.random.Generator] = None,
-        observer=None,
-    ):
-        if not isinstance(config, LAORAMConfig):
-            raise ConfigurationError("LAORAMClient requires an LAORAMConfig")
-        super().__init__(
-            config.oram,
-            timing=timing,
-            counter=counter,
-            eviction=eviction,
-            rng=rng,
-            observer=observer,
-        )
-        self._init_lookahead(config)
-
     def apply_initial_placement(self, plan: LookaheadPlan) -> None:
         """Lay the table out so each block starts on its first planned path.
 
@@ -289,12 +292,7 @@ class LAORAMClient(LookaheadClientMixin, PathORAM):
             block = self.stash.pop(block_id)
             if block is not None:
                 blocks[block.block_id] = block
-        self.tree = type(self.tree)(
-            depth=self.config.depth,
-            bucket_capacities=self.config.bucket_capacities(),
-            block_size_bytes=self.config.block_size_bytes,
-            metadata_bytes_per_block=self.config.metadata_bytes_per_block,
-        )
+        self.tree = self._make_tree()
         self.stash.clear()
         for block_id in sorted(blocks):
             block = blocks[block_id]

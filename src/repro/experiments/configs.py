@@ -15,7 +15,7 @@ from typing import Optional
 from repro.core.config import LAORAMConfig
 from repro.core.fast_laoram import FastLAORAMClient
 from repro.core.laoram import LAORAMClient
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, UnsupportedEngineError
 from repro.memory.accounting import TrafficCounter
 from repro.oram.array_path_oram import ArrayPathORAM
 from repro.oram.base import ObliviousMemory
@@ -23,8 +23,13 @@ from repro.oram.config import ORAMConfig
 from repro.oram.eviction import EvictionPolicy
 from repro.oram.insecure import InsecureMemory
 from repro.oram.path_oram import PathORAM
-from repro.oram.pr_oram import PrORAM, SuperblockMode
-from repro.oram.ring_oram import RingORAM
+from repro.oram.pr_oram import ArrayPrORAM, PrORAM, SuperblockMode
+from repro.oram.ring_oram import ArrayRingORAM, RingORAM
+
+#: Families with a vectorized (``fast=True``) twin.
+FAST_ENGINE_FAMILIES: frozenset[str] = frozenset(
+    {"pathoram", "laoram", "ringoram", "proram"}
+)
 
 #: Configuration labels used in the paper's figures, in plotting order.
 PAPER_CONFIG_LABELS: tuple[str, ...] = (
@@ -115,17 +120,21 @@ def build_engine(
 ) -> ObliviousMemory:
     """Instantiate the engine named by ``label`` on the given tree geometry.
 
-    ``fast=True`` selects the array-backed vectorized engine for the
-    families that have one (PathORAM -> :class:`ArrayPathORAM`, LAORAM ->
-    :class:`FastLAORAMClient`); both twins produce counters identical to the
-    per-object engines for a fixed seed, only faster.
+    ``fast=True`` selects the array-backed vectorized engine: PathORAM ->
+    :class:`ArrayPathORAM`, LAORAM -> :class:`FastLAORAMClient`, RingORAM ->
+    :class:`ArrayRingORAM`, PrORAM -> :class:`ArrayPrORAM`.  Every twin
+    produces counters bit-identical to the per-object engine for a fixed
+    seed, only faster.  Families without a twin (the insecure baseline)
+    raise :class:`~repro.exceptions.UnsupportedEngineError`.
     """
     parsed = parse_label(label)
     config = oram_config if seed is None else oram_config.with_overrides(seed=seed)
     family = parsed["family"]
-    if fast and family not in ("pathoram", "laoram"):
-        raise ConfigurationError(
-            f"no vectorized engine exists for configuration '{label}'"
+    if fast and family not in FAST_ENGINE_FAMILIES:
+        raise UnsupportedEngineError(
+            f"no vectorized (fast=True) engine exists for family '{family}' "
+            f"(configuration '{label}'); fast engines cover "
+            f"{sorted(FAST_ENGINE_FAMILIES)}"
         )
     if family == "insecure":
         return InsecureMemory(config, counter=counter, observer=observer)
@@ -135,9 +144,11 @@ def build_engine(
             config, counter=counter, eviction=eviction, observer=observer
         )
     if family == "ringoram":
-        return RingORAM(config, counter=counter, observer=observer)
+        engine_cls = ArrayRingORAM if fast else RingORAM
+        return engine_cls(config, counter=counter, observer=observer)
     if family == "proram":
-        return PrORAM(
+        engine_cls = ArrayPrORAM if fast else PrORAM
+        return engine_cls(
             config,
             superblock_size=parsed["superblock_size"],
             mode=parsed["mode"],

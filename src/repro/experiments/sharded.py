@@ -14,10 +14,10 @@ parallel-deployment critical path) alongside the serial sum.
 Sharding is also what makes multi-tenant/scale experiments tractable in pure
 Python: each shard's tree is ``num_shards`` times smaller, so a single
 machine can sweep shard counts to study how partitioning changes per-shard
-stash pressure and total traffic.  The runner defaults to the vectorized
-:class:`~repro.core.fast_laoram.FastLAORAMClient` engine; set
-``use_fast_engine=False`` to run the reference per-object client (both
-produce identical counters for a fixed seed).
+stash pressure and total traffic.  Every engine family can run sharded —
+``family`` selects ``"laoram"`` (default), ``"pathoram"``, ``"ringoram"`` or
+``"proram"`` — and ``use_fast_engine`` picks the vectorized array twin
+(identical counters for a fixed seed) or the per-object reference.
 """
 
 from __future__ import annotations
@@ -29,10 +29,22 @@ import numpy as np
 
 from repro.core.config import LAORAMConfig
 from repro.core.fast_laoram import FastLAORAMClient
-from repro.core.laoram import LAORAMClient
+from repro.core.laoram import LAORAMClient, LookaheadClientMixin
 from repro.exceptions import ConfigurationError
 from repro.memory.accounting import TrafficSnapshot, merge_snapshots
+from repro.oram.array_path_oram import ArrayPathORAM
 from repro.oram.config import ORAMConfig
+from repro.oram.path_oram import PathORAM
+from repro.oram.pr_oram import ArrayPrORAM, PrORAM, SuperblockMode
+from repro.oram.ring_oram import ArrayRingORAM, RingORAM
+
+#: Families the runner can shard, mapped to (reference, fast) engine classes.
+SHARDABLE_FAMILIES: dict[str, tuple[type, type]] = {
+    "laoram": (LAORAMClient, FastLAORAMClient),
+    "pathoram": (PathORAM, ArrayPathORAM),
+    "ringoram": (RingORAM, ArrayRingORAM),
+    "proram": (PrORAM, ArrayPrORAM),
+}
 
 
 @dataclass(frozen=True)
@@ -60,12 +72,14 @@ class ShardedRunner:
         self,
         num_blocks: int,
         num_shards: int,
+        family: str = "laoram",
         superblock_size: int = 4,
         block_size_bytes: int = 128,
         fat_tree: bool = False,
         lookahead_accesses: Optional[int] = None,
         seed: int = 0,
         use_fast_engine: bool = True,
+        proram_mode: SuperblockMode = SuperblockMode.DYNAMIC,
     ):
         if num_shards < 1:
             raise ConfigurationError("num_shards must be >= 1")
@@ -74,24 +88,41 @@ class ShardedRunner:
                 "each shard needs at least 2 blocks; "
                 f"{num_blocks} blocks cannot fill {num_shards} shards"
             )
+        if family not in SHARDABLE_FAMILIES:
+            raise ConfigurationError(
+                f"unknown shardable family '{family}'; "
+                f"choose from {sorted(SHARDABLE_FAMILIES)}"
+            )
         self.num_blocks = num_blocks
         self.num_shards = num_shards
+        self.family = family
         self.use_fast_engine = use_fast_engine
-        engine_cls = FastLAORAMClient if use_fast_engine else LAORAMClient
+        engine_cls = SHARDABLE_FAMILIES[family][1 if use_fast_engine else 0]
         self.engines = []
         for shard_id in range(num_shards):
-            shard_blocks = self.shard_num_blocks(shard_id)
-            config = LAORAMConfig(
-                oram=ORAMConfig(
-                    num_blocks=shard_blocks,
-                    block_size_bytes=block_size_bytes,
-                    fat_tree=fat_tree,
-                    seed=seed + shard_id,
-                ),
-                superblock_size=superblock_size,
-                lookahead_accesses=lookahead_accesses,
+            oram_config = ORAMConfig(
+                num_blocks=self.shard_num_blocks(shard_id),
+                block_size_bytes=block_size_bytes,
+                fat_tree=fat_tree,
+                seed=seed + shard_id,
             )
-            self.engines.append(engine_cls(config))
+            if family == "laoram":
+                engine = engine_cls(
+                    LAORAMConfig(
+                        oram=oram_config,
+                        superblock_size=superblock_size,
+                        lookahead_accesses=lookahead_accesses,
+                    )
+                )
+            elif family == "proram":
+                engine = engine_cls(
+                    oram_config,
+                    superblock_size=superblock_size,
+                    mode=proram_mode,
+                )
+            else:
+                engine = engine_cls(oram_config)
+            self.engines.append(engine)
         self._results: list[ShardResult] = []
 
     # ------------------------------------------------------------------
@@ -130,14 +161,20 @@ class ShardedRunner:
 
         Shards execute sequentially here (pure-Python harness) but share no
         state, so the run models ``num_shards`` hosts working concurrently.
+        LAORAM shards consume their slice through the lookahead pipeline
+        (``reinitialize_placement`` applies to the first window); every other
+        family performs one oblivious access per trace element.
         """
         self._results = []
         for shard_id, local_trace in enumerate(self.split_trace(addresses)):
             engine = self.engines[shard_id]
             if local_trace.size:
-                engine.run_trace(
-                    local_trace, reinitialize_placement=reinitialize_placement
-                )
+                if isinstance(engine, LookaheadClientMixin):
+                    engine.run_trace(
+                        local_trace, reinitialize_placement=reinitialize_placement
+                    )
+                else:
+                    engine.access_many(local_trace)
             self._results.append(
                 ShardResult(
                     shard_id=shard_id,

@@ -1,21 +1,25 @@
 """ORAM substrates: PathORAM, PrORAM, RingORAM and the insecure baseline.
 
-PathORAM ships in two decision-identical flavours: the per-object reference
-:class:`PathORAM` (dict stash, Block objects) and the vectorized
-:class:`ArrayPathORAM` (:class:`ArrayTreeStorage` slot arrays plus an
-:class:`ArrayStash` of id/leaf rows), which produces bit-identical traffic
-counters for a fixed seed.
+Every tree-based scheme ships in two decision-identical flavours built on
+the shared :mod:`repro.oram.engine` core: a per-object reference (dict
+stash, Block objects) and a vectorized array twin
+(:class:`ArrayTreeStorage` slot arrays plus an :class:`ArrayStash` of
+id/leaf rows) that produces bit-identical traffic counters for a fixed
+seed — :class:`PathORAM`/:class:`ArrayPathORAM`,
+:class:`RingORAM`/:class:`ArrayRingORAM`,
+:class:`PrORAM`/:class:`ArrayPrORAM`.
 """
 
 from repro.oram.array_path_oram import ArrayPathORAM
 from repro.oram.base import AccessOp, ObliviousMemory
 from repro.oram.config import ORAMConfig, FatTreePolicy
+from repro.oram.engine import ArrayStorageEngine, ObjectStorageEngine, TreeORAMEngine
 from repro.oram.eviction import EvictionPolicy
 from repro.oram.insecure import InsecureMemory
 from repro.oram.path_oram import PathORAM
 from repro.oram.position_map import PositionMap
-from repro.oram.pr_oram import PrORAM, SuperblockMode
-from repro.oram.ring_oram import RingORAM
+from repro.oram.pr_oram import ArrayPrORAM, PrORAM, SuperblockMode
+from repro.oram.ring_oram import ArrayRingORAM, RingORAM
 from repro.oram.stash import ArrayStash, Stash
 from repro.oram.tree import ArrayTreeStorage, TreeStorage
 
@@ -26,12 +30,17 @@ __all__ = [
     "FatTreePolicy",
     "EvictionPolicy",
     "InsecureMemory",
+    "TreeORAMEngine",
+    "ObjectStorageEngine",
+    "ArrayStorageEngine",
     "PathORAM",
     "ArrayPathORAM",
     "PositionMap",
     "PrORAM",
+    "ArrayPrORAM",
     "SuperblockMode",
     "RingORAM",
+    "ArrayRingORAM",
     "Stash",
     "ArrayStash",
     "TreeStorage",

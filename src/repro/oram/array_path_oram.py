@@ -1,9 +1,10 @@
 """Array-backed PathORAM engine: the vectorized twin of :class:`PathORAM`.
 
 This engine executes the exact same protocol as the per-object
-:class:`~repro.oram.path_oram.PathORAM` — same RNG draw sequence, same
-greedy write-back selection, same counter and timing charges — but stores
-server and client state as numpy arrays:
+:class:`~repro.oram.path_oram.PathORAM` — the control flow is literally the
+same code, :class:`~repro.oram.engine.TreeORAMEngine` — but binds it to the
+:class:`~repro.oram.engine.ArrayStorageEngine` backend, which stores server
+and client state as numpy arrays:
 
 * the tree is an :class:`~repro.oram.tree.ArrayTreeStorage` (one ``int64``
   slot matrix + occupancy vector per level);
@@ -21,303 +22,18 @@ server and client state as numpy arrays:
 Because both engines follow the same decision procedure, a fixed seed
 produces bit-identical :class:`~repro.memory.accounting.TrafficSnapshot`
 counters on either backend — the equivalence the throughput benchmark and
-the randomized invariant tests assert.
+``tests/test_engine_equivalence.py`` assert.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
-
-import numpy as np
-
-from repro.exceptions import BlockNotFoundError
-from repro.memory.accounting import TrafficCounter, TrafficSnapshot
-from repro.memory.timing import TimingModel
-from repro.oram.base import AccessOp, ObliviousMemory
-from repro.oram.config import ORAMConfig
-from repro.oram.eviction import EvictionPolicy
-from repro.oram.position_map import PositionMap
-from repro.oram.stash import ArrayStash
-from repro.oram.tree import ArrayTreeStorage
-from repro.utils.rng import make_rng
+from repro.oram.engine import ArrayStorageEngine
 
 
-class ArrayPathORAM(ObliviousMemory):
-    """Vectorized PathORAM client + simulated server storage."""
+class ArrayPathORAM(ArrayStorageEngine):
+    """Vectorized PathORAM client + simulated server storage.
 
-    def __init__(
-        self,
-        config: ORAMConfig,
-        timing: Optional[TimingModel] = None,
-        counter: Optional[TrafficCounter] = None,
-        eviction: Optional[EvictionPolicy] = None,
-        rng: Optional[np.random.Generator] = None,
-        observer=None,
-    ):
-        self.config = config
-        self.timing = timing if timing is not None else TimingModel()
-        self.counter = counter if counter is not None else TrafficCounter()
-        self.rng = rng if rng is not None else make_rng(config.seed)
-        self.eviction = eviction if eviction is not None else EvictionPolicy(
-            enabled=config.background_eviction,
-            trigger_threshold=config.eviction_threshold,
-            drain_target=config.eviction_target,
-        )
-        self.observer = observer
-        self.tree = ArrayTreeStorage(
-            depth=config.depth,
-            bucket_capacities=config.bucket_capacities(),
-            block_size_bytes=config.block_size_bytes,
-            metadata_bytes_per_block=config.metadata_bytes_per_block,
-        )
-        self.stash = ArrayStash(
-            num_blocks=config.num_blocks,
-            num_leaves=config.num_leaves,
-            capacity=config.stash_capacity,
-        )
-        self.position_map = PositionMap(
-            num_blocks=config.num_blocks,
-            num_leaves=config.num_leaves,
-            rng=self.rng,
-        )
-        self._payloads: dict[int, object] = {}
-        self._stash_hits = 0
-        # Scratch buffers for the write-back planner (sized to the stash's
-        # row count on demand) so the per-path xor/frexp pass allocates
-        # nothing.
-        self._wb_xor = np.empty(256, dtype=np.int64)
-        self._wb_mant = np.empty(256, dtype=np.float64)
-        self._wb_bitlen = np.empty(256, dtype=np.intc)
-        self._bulk_load()
-
-    # ------------------------------------------------------------------
-    # Construction helpers
-    # ------------------------------------------------------------------
-    def _bulk_load(self) -> None:
-        """Place every block into the tree according to its initial path.
-
-        One vectorized pass per level; overflow goes to the stash in
-        ascending id order, exactly as the per-object bulk load does.
-        """
-        overflow = self.tree.bulk_place(self.position_map.leaves)
-        self.stash.append_rows(overflow, self.position_map.leaves[overflow])
-
-    def load_payloads(self, payloads: dict[int, object]) -> None:
-        """Install payloads for blocks during trusted setup (no traffic charged)."""
-        for block_id in payloads:
-            if not 0 <= block_id < self.config.num_blocks:
-                raise BlockNotFoundError(
-                    f"payload block id {block_id} not present in the ORAM"
-                )
-        self._payloads.update(payloads)
-
-    # ------------------------------------------------------------------
-    # ObliviousMemory interface
-    # ------------------------------------------------------------------
-    @property
-    def num_blocks(self) -> int:
-        return self.config.num_blocks
-
-    @property
-    def statistics(self) -> TrafficSnapshot:
-        return self.counter.snapshot()
-
-    @property
-    def simulated_time_s(self) -> float:
-        return self.timing.elapsed_s
-
-    @property
-    def server_memory_bytes(self) -> int:
-        return self.tree.server_memory_bytes
-
-    @property
-    def stash_occupancy(self) -> int:
-        """Current number of blocks held in the client stash."""
-        return len(self.stash)
-
-    @property
-    def stash_hits(self) -> int:
-        """Accesses served directly from the stash without a path read."""
-        return self._stash_hits
-
-    def access(
-        self,
-        block_id: int,
-        op: AccessOp = AccessOp.READ,
-        new_payload: Optional[object] = None,
-    ) -> Optional[object]:
-        """Perform one oblivious access to ``block_id``."""
-        self._check_block_id(block_id)
-        self.counter.record_logical_access()
-        self.timing.charge_client_overhead()
-
-        if block_id not in self.stash:
-            leaf = self.position_map.get(block_id)
-            self._read_path_into_stash(leaf, dummy=False)
-            if block_id not in self.stash:
-                raise BlockNotFoundError(
-                    f"block {block_id} missing from both stash and its path"
-                )
-            payload = self._serve(block_id, op, new_payload)
-            self._remap(block_id)
-            self._write_back(leaf)
-        else:
-            self._stash_hits += 1
-            payload = self._serve(block_id, op, new_payload)
-            self._remap(block_id)
-
-        self._maybe_background_evict()
-        self.counter.observe_stash(len(self.stash))
-        return payload
-
-    def access_many(self, block_ids: Sequence[int]) -> list[Optional[object]]:
-        """Access blocks one at a time (PathORAM has no batching)."""
-        return [self.access(int(block_id)) for block_id in block_ids]
-
-    # ------------------------------------------------------------------
-    # Internals shared with subclasses
-    # ------------------------------------------------------------------
-    def _serve(
-        self, block_id: int, op: AccessOp, new_payload: Optional[object]
-    ) -> Optional[object]:
-        if op is AccessOp.WRITE:
-            self._payloads[block_id] = new_payload
-        return self._payloads.get(block_id)
-
-    def _remap(self, block_id: int) -> None:
-        """Assign the block a fresh path (position map + stash leaf mirror).
-
-        Remap always happens while the block sits in the stash, so both the
-        authoritative position-map entry and the stash's leaf row are
-        updated together.
-        """
-        leaf = self._choose_new_leaf(block_id)
-        self.position_map.set(block_id, leaf)
-        self.stash.set_leaf(block_id, leaf)
-
-    def _choose_new_leaf(self, block_id: int) -> int:
-        """Uniformly random new path; LAORAM overrides this with its plan."""
-        return int(self.rng.integers(0, self.config.num_leaves))
-
-    def _read_path_into_stash(self, leaf: int, dummy: bool) -> None:
-        """Fetch a full path from the server into the stash."""
-        num_buckets, num_bytes = self.tree.path_cost(leaf)
-        ids = self.tree.read_path_ids(leaf)
-        if ids.size:
-            self.stash.append_rows(ids, self.position_map.leaves[ids])
-        self.counter.record_path_read(num_buckets, num_bytes, dummy=dummy)
-        self.timing.charge_path_transfer(num_buckets, num_bytes)
-        if self.observer is not None:
-            self.observer.observe_path(leaf, dummy=dummy)
-
-    def _write_back(self, leaf: int) -> None:
-        """Greedily write stash blocks back onto the path to ``leaf``.
-
-        The selection replicates ``plan_greedy_write_back`` exactly — same
-        eligibility (path-prefix rule), same occupancy awareness and same
-        tie-breaking order — but the per-block common-level computation is a
-        single vectorized xor/frexp over the stash's contiguous leaf rows,
-        with the LIFO candidate pool operating on positions of that sorted
-        ordering.
-        """
-        tree = self.tree
-        stash = self.stash
-        live = len(stash)
-        if live:
-            depth = tree.depth
-            tail = stash.tail
-            n = self._wb_xor.size
-            if n < tail:
-                while n < tail:
-                    n *= 2
-                self._wb_xor = np.empty(n, dtype=np.int64)
-                self._wb_mant = np.empty(n, dtype=np.float64)
-                self._wb_bitlen = np.empty(n, dtype=np.intc)
-            xor = self._wb_xor[:tail]
-            bitlen = self._wb_bitlen[:tail]
-            np.bitwise_xor(stash.leaf_rows[:tail], leaf, out=xor)
-            # bit_length(leaf xor path) sorts deepest common level first
-            # (xor == 0 -> bit length 0 -> common level == depth); frexp's
-            # exponent IS the bit length for non-negative ints (and 0 for
-            # 0), exact far below 2^53.  A stable sort keeps ascending
-            # insertion (row) order within a level.  Holes (bit length
-            # depth + 2) sort after every real row, so slicing the ordering
-            # at the live count drops exactly the holes.
-            np.frexp(xor, self._wb_mant[:tail], bitlen)
-            grouped = np.argsort(bitlen, kind="stable")[:live].tolist()
-            counts = np.bincount(bitlen, minlength=depth + 1).tolist()
-            buckets, occupancies = tree.path_state(leaf)
-            caps = tree.bucket_capacities
-            level_base = tree.level_base
-            pool: list[int] = []
-            cursor = 0
-            chosen_rows: list[int] = []
-            chosen_slots: list[int] = []
-            for level in range(depth, -1, -1):
-                count = counts[depth - level]
-                if count:
-                    pool.extend(grouped[cursor : cursor + count])
-                    cursor += count
-                if not pool:
-                    continue
-                occupancy = occupancies[level]
-                free = caps[level] - occupancy
-                if free <= 0:
-                    continue
-                take = free if free < len(pool) else len(pool)
-                # Popping one by one from the pool's tail == reversed slice.
-                chosen_rows.extend(pool[: -take - 1 : -1])
-                del pool[-take:]
-                slot = (
-                    level_base[level]
-                    + (leaf >> (depth - level)) * caps[level]
-                    + occupancy
-                )
-                chosen_slots.extend(range(slot, slot + take))
-                occupancies[level] = occupancy + take
-            if chosen_rows:
-                # Capacity is respected by construction (take <= free), so
-                # the whole path commits in two scatters.
-                rows = np.asarray(chosen_rows, dtype=np.int64)
-                chosen_ids = stash.id_rows[rows]
-                tree.commit_path_write(
-                    buckets, occupancies, chosen_slots, chosen_ids
-                )
-                stash.remove_rows(rows, chosen_ids)
-        num_buckets, num_bytes = self.tree.path_cost(leaf)
-        self.counter.record_path_write(num_buckets, num_bytes)
-        self.timing.charge_path_transfer(num_buckets, num_bytes)
-
-    def _maybe_background_evict(self) -> None:
-        """Run the dummy-read eviction loop when the stash is too full."""
-        if not self.eviction.should_trigger(len(self.stash)):
-            return
-        self.counter.record_background_eviction()
-        dummy_reads = 0
-        while self.eviction.should_continue(len(self.stash), dummy_reads):
-            self.dummy_access()
-            dummy_reads += 1
-
-    def dummy_access(self) -> None:
-        """Read and write back one random path without touching any block."""
-        leaf = int(self.rng.integers(0, self.config.num_leaves))
-        self._read_path_into_stash(leaf, dummy=True)
-        self._write_back(leaf)
-
-    def _check_block_id(self, block_id: int) -> None:
-        if not 0 <= block_id < self.config.num_blocks:
-            raise BlockNotFoundError(
-                f"block {block_id} outside [0, {self.config.num_blocks})"
-            )
-
-    # ------------------------------------------------------------------
-    # Diagnostics
-    # ------------------------------------------------------------------
-    def total_real_blocks(self) -> int:
-        """Blocks present across tree and stash (must equal ``num_blocks``)."""
-        return self.tree.real_block_count() + len(self.stash)
-
-    def client_memory_bytes(self) -> int:
-        """Approximate client memory: position map plus stash payload slots."""
-        stash_bytes = len(self.stash) * self.config.stored_block_bytes
-        return self.position_map.client_memory_bytes() + stash_bytes
+    Control flow from :class:`~repro.oram.engine.TreeORAMEngine`, storage
+    from :class:`~repro.oram.engine.ArrayStorageEngine`; like its per-object
+    twin, PathORAM itself adds nothing on top of the shared engine.
+    """

@@ -1,0 +1,640 @@
+"""Shared tree-ORAM engine core: one control flow, two storage backends.
+
+Every tree-based scheme in this package (PathORAM, PrORAM, RingORAM, LAORAM)
+runs the same skeleton — position-map lookup, path read into the stash,
+greedy occupancy-aware write-back, threshold-triggered background eviction —
+over one of two storage representations:
+
+* :class:`ObjectStorageEngine` keeps :class:`~repro.memory.block.Block`
+  objects in per-bucket lists and a dict stash (the reference engines);
+* :class:`ArrayStorageEngine` keeps block ids in
+  :class:`~repro.oram.tree.ArrayTreeStorage` slot arrays and an
+  :class:`~repro.oram.stash.ArrayStash` of id/leaf rows, with payloads in a
+  client-side store (the vectorized engines).
+
+:class:`TreeORAMEngine` owns the control flow and all counter/timing
+charges; backends implement a small set of storage hooks (``_fetch_path``,
+``_commit_write_back``, stash attach/detach/lookup).  Because the hooks are
+decision-free — every choice (which leaf, which eviction victim) is made in
+shared code or replicated exactly by the vectorized planner — a reference
+engine and its array twin draw from the RNG in the same order and produce
+bit-identical :class:`~repro.memory.accounting.TrafficSnapshot` counters for
+a fixed seed.  That equivalence is enforced per family by
+``tests/test_engine_equivalence.py`` and the CI throughput gate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import BlockNotFoundError
+from repro.memory.accounting import TrafficCounter, TrafficSnapshot
+from repro.memory.block import Block
+from repro.memory.timing import TimingModel
+from repro.oram.base import AccessOp, ObliviousMemory
+from repro.oram.config import ORAMConfig
+from repro.oram.eviction import EvictionPolicy
+from repro.oram.position_map import PositionMap
+from repro.oram.stash import ArrayStash, Stash
+from repro.oram.tree import ArrayTreeStorage, TreeStorage
+from repro.oram.write_back import plan_greedy_write_back
+from repro.utils.rng import make_rng
+
+
+class TreeORAMEngine(ObliviousMemory):
+    """Tree-ORAM access/eviction control flow over abstract storage hooks.
+
+    Subclasses provide the storage representation (tree, stash, payloads)
+    through the hooks in the "storage hooks" section; protocol variants
+    (PrORAM superblocks, RingORAM online reads) override :meth:`access`
+    while reusing the shared internals (`_read_path_into_stash`,
+    `_write_back`, background eviction, counters).
+    """
+
+    def __init__(
+        self,
+        config: ORAMConfig,
+        timing: Optional[TimingModel] = None,
+        counter: Optional[TrafficCounter] = None,
+        eviction: Optional[EvictionPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
+        observer=None,
+    ):
+        self.config = config
+        self.timing = timing if timing is not None else TimingModel()
+        self.counter = counter if counter is not None else TrafficCounter()
+        self.rng = rng if rng is not None else make_rng(config.seed)
+        self.eviction = eviction if eviction is not None else EvictionPolicy(
+            enabled=config.background_eviction,
+            trigger_threshold=config.eviction_threshold,
+            drain_target=config.eviction_target,
+        )
+        self.observer = observer
+        self.tree = self._make_tree()
+        self.stash = self._make_stash()
+        self.position_map = PositionMap(
+            num_blocks=config.num_blocks,
+            num_leaves=config.num_leaves,
+            rng=self.rng,
+        )
+        self._stash_hits = 0
+        # Hot-path caches: ``ORAMConfig.depth``/``num_leaves`` are derived
+        # properties recomputed on every read, which adds up at millions of
+        # accesses (geometry is immutable, so caching is safe).
+        self._depth = config.depth
+        self._num_leaves = config.num_leaves
+
+    # ------------------------------------------------------------------
+    # ObliviousMemory interface
+    # ------------------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        return self.config.num_blocks
+
+    @property
+    def statistics(self) -> TrafficSnapshot:
+        return self.counter.snapshot()
+
+    @property
+    def simulated_time_s(self) -> float:
+        return self.timing.elapsed_s
+
+    @property
+    def server_memory_bytes(self) -> int:
+        return self.tree.server_memory_bytes
+
+    @property
+    def stash_occupancy(self) -> int:
+        """Current number of blocks held in the client stash."""
+        return len(self.stash)
+
+    @property
+    def stash_hits(self) -> int:
+        """Accesses served directly from the stash without a path read."""
+        return self._stash_hits
+
+    def access(
+        self,
+        block_id: int,
+        op: AccessOp = AccessOp.READ,
+        new_payload: Optional[object] = None,
+    ) -> Optional[object]:
+        """Perform one oblivious access to ``block_id`` (PathORAM sequence)."""
+        self._check_block_id(block_id)
+        self.counter.record_logical_access()
+        self.timing.charge_client_overhead()
+
+        handle = self._stash_lookup(block_id)
+        if handle is None:
+            leaf = self.position_map.get(block_id)
+            self._read_path_into_stash(leaf, dummy=False)
+            handle = self._stash_lookup(block_id)
+            if handle is None:
+                raise BlockNotFoundError(
+                    f"block {block_id} missing from both stash and its path"
+                )
+            payload = self._serve(handle, op, new_payload)
+            self._remap(handle)
+            self._write_back(leaf)
+        else:
+            self._stash_hits += 1
+            payload = self._serve(handle, op, new_payload)
+            self._remap(handle)
+
+        self._maybe_background_evict()
+        self.counter.observe_stash(len(self.stash))
+        return payload
+
+    def access_many(self, block_ids: Sequence[int]) -> list[Optional[object]]:
+        """Access blocks one at a time (the base protocol has no batching)."""
+        return [self.access(int(block_id)) for block_id in block_ids]
+
+    # ------------------------------------------------------------------
+    # Shared internals (counter/timing charges live here, not in backends)
+    # ------------------------------------------------------------------
+    def _choose_new_leaf(self, block_id: int) -> int:
+        """Uniformly random new path; LAORAM overrides this with its plan."""
+        return int(self.rng.integers(0, self._num_leaves))
+
+    def _read_path_into_stash(self, leaf: int, dummy: bool) -> None:
+        """Fetch a full path from the server into the stash."""
+        num_buckets, num_bytes = self.tree.path_cost(leaf)
+        self._fetch_path(leaf)
+        self.counter.record_path_read(num_buckets, num_bytes, dummy=dummy)
+        self.timing.charge_path_transfer(num_buckets, num_bytes)
+        if self.observer is not None:
+            self.observer.observe_path(leaf, dummy=dummy)
+
+    def _write_back(self, leaf: int) -> None:
+        """Greedily write stash blocks back onto the path to ``leaf``."""
+        self._commit_write_back(leaf)
+        num_buckets, num_bytes = self.tree.path_cost(leaf)
+        self.counter.record_path_write(num_buckets, num_bytes)
+        self.timing.charge_path_transfer(num_buckets, num_bytes)
+
+    def _maybe_background_evict(self) -> None:
+        """Run the dummy-read eviction loop when the stash is too full."""
+        if not self.eviction.should_trigger(len(self.stash)):
+            return
+        self.counter.record_background_eviction()
+        dummy_reads = 0
+        while self.eviction.should_continue(len(self.stash), dummy_reads):
+            self.dummy_access()
+            dummy_reads += 1
+
+    def dummy_access(self) -> None:
+        """Read and write back one random path without touching any block."""
+        leaf = int(self.rng.integers(0, self._num_leaves))
+        self._read_path_into_stash(leaf, dummy=True)
+        self._write_back(leaf)
+
+    def _check_block_id(self, block_id: int) -> None:
+        if not 0 <= block_id < self.config.num_blocks:
+            raise BlockNotFoundError(
+                f"block {block_id} outside [0, {self.config.num_blocks})"
+            )
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def total_real_blocks(self) -> int:
+        """Blocks present across tree and stash (must equal ``num_blocks``)."""
+        return self.tree.real_block_count() + len(self.stash)
+
+    def client_memory_bytes(self) -> int:
+        """Approximate client memory: position map plus stash payload slots."""
+        stash_bytes = len(self.stash) * self.config.stored_block_bytes
+        return self.position_map.client_memory_bytes() + stash_bytes
+
+    # ------------------------------------------------------------------
+    # Storage hooks (implemented by the backends below)
+    # ------------------------------------------------------------------
+    def _make_tree(self):
+        """Build the server-side tree storage for ``self.config``."""
+        raise NotImplementedError
+
+    def _make_stash(self):
+        """Build the client-side stash."""
+        raise NotImplementedError
+
+    def _bulk_load(self) -> None:
+        """Trusted-setup placement of every block onto its initial path."""
+        raise NotImplementedError
+
+    def load_payloads(self, payloads: dict[int, object]) -> None:
+        """Install payloads during trusted setup (no traffic charged)."""
+        raise NotImplementedError
+
+    def _stash_lookup(self, block_id: int):
+        """Handle of a stashed block (Block or id), or ``None`` if absent."""
+        raise NotImplementedError
+
+    def _stash_detach(self, block_id: int):
+        """Remove a block from the stash, returning its handle (or ``None``)."""
+        raise NotImplementedError
+
+    def _stash_reattach(self, handle) -> None:
+        """Re-insert a previously detached handle, keeping its current leaf."""
+        raise NotImplementedError
+
+    def _stash_insert(self, handle, leaf: int) -> None:
+        """Insert a detached handle with a (possibly new) assigned leaf."""
+        raise NotImplementedError
+
+    def _update_leaf(self, block_id: int, leaf: int) -> None:
+        """Reassign a *stashed* block's leaf in the position map and stash."""
+        raise NotImplementedError
+
+    def _serve(self, handle, op: AccessOp, new_payload: Optional[object]):
+        """Apply the read/write to a stashed block and return its payload."""
+        raise NotImplementedError
+
+    def _remap(self, handle) -> None:
+        """Assign a stashed block a fresh leaf via :meth:`_choose_new_leaf`."""
+        raise NotImplementedError
+
+    def _fetch_path(self, leaf: int) -> None:
+        """Move every real block on the path to ``leaf`` into the stash."""
+        raise NotImplementedError
+
+    def _commit_write_back(self, leaf: int) -> None:
+        """Plan and commit the greedy write-back onto the path to ``leaf``."""
+        raise NotImplementedError
+
+    def _remove_from_path(self, leaf: int, block_id: int):
+        """Remove ``block_id`` from a bucket on the path (RingORAM online read)."""
+        raise NotImplementedError
+
+    def _relayout_tree(self) -> None:
+        """Rebuild the tree layout under the current position map (setup only)."""
+        raise NotImplementedError
+
+
+class ObjectStorageEngine(TreeORAMEngine):
+    """Per-object storage backend: Block objects, list buckets, dict stash."""
+
+    def __init__(self, config: ORAMConfig, **kwargs):
+        super().__init__(config, **kwargs)
+        self._bulk_load()
+
+    # -- construction ---------------------------------------------------
+    def _make_tree(self) -> TreeStorage:
+        return TreeStorage(
+            depth=self.config.depth,
+            bucket_capacities=self.config.bucket_capacities(),
+            block_size_bytes=self.config.block_size_bytes,
+            metadata_bytes_per_block=self.config.metadata_bytes_per_block,
+        )
+
+    def _make_stash(self) -> Stash:
+        return Stash(capacity=self.config.stash_capacity)
+
+    def _bulk_load(self) -> None:
+        """Place every block on its initial path; overflow goes to the stash.
+
+        Initial placement is a trusted setup step performed before the
+        adversary starts observing, so it is not charged to the traffic
+        counters.
+        """
+        for block_id in range(self.config.num_blocks):
+            leaf = self.position_map.get(block_id)
+            block = Block(block_id=block_id, leaf=leaf, payload=None)
+            if not self.tree.try_place_on_path(block):
+                self.stash.add(block)
+
+    def load_payloads(self, payloads: dict[int, object]) -> None:
+        """Install payloads for blocks during trusted setup (no traffic charged)."""
+        remaining = dict(payloads)
+        for block in self.stash:
+            if block.block_id in remaining:
+                block.payload = remaining.pop(block.block_id)
+        if remaining:
+            for block in self.tree.iter_blocks():
+                if block.block_id in remaining:
+                    block.payload = remaining.pop(block.block_id)
+                    if not remaining:
+                        break
+        if remaining:
+            raise BlockNotFoundError(
+                f"{len(remaining)} payload block ids not present in the ORAM"
+            )
+
+    # -- stash hooks ----------------------------------------------------
+    def _stash_lookup(self, block_id: int) -> Optional[Block]:
+        return self.stash.get(block_id)
+
+    def _stash_detach(self, block_id: int) -> Optional[Block]:
+        return self.stash.pop(block_id)
+
+    def _stash_reattach(self, handle: Block) -> None:
+        self.stash.add(handle)
+
+    def _stash_insert(self, handle: Block, leaf: int) -> None:
+        handle.leaf = leaf
+        self.stash.add(handle)
+
+    def _update_leaf(self, block_id: int, leaf: int) -> None:
+        block = self.stash.get(block_id)
+        block.leaf = leaf
+        self.position_map.set(block_id, leaf)
+
+    # -- access hooks ---------------------------------------------------
+    def _serve(
+        self, handle: Block, op: AccessOp, new_payload: Optional[object]
+    ) -> Optional[object]:
+        if op is AccessOp.WRITE:
+            handle.payload = new_payload
+        return handle.payload
+
+    def _remap(self, handle: Block) -> None:
+        """Assign the block a fresh path and update the position map."""
+        new_leaf = self._choose_new_leaf(handle.block_id)
+        handle.leaf = new_leaf
+        self.position_map.set(handle.block_id, new_leaf)
+
+    def _fetch_path(self, leaf: int) -> None:
+        for block in self.tree.read_path(leaf):
+            self.stash.add(block)
+
+    def _commit_write_back(self, leaf: int) -> None:
+        placement = self._plan_write_back(leaf)
+        self.tree.write_path(leaf, placement)
+
+    def _plan_write_back(self, leaf: int) -> dict[int, list[Block]]:
+        """Choose which stash blocks go to which level of the accessed path."""
+        return plan_greedy_write_back(self.tree, self.stash, leaf)
+
+    def _remove_from_path(self, leaf: int, block_id: int) -> Optional[Block]:
+        for index in self.tree.path_bucket_indices(leaf):
+            block = self.tree.bucket_by_index(index).remove(block_id)
+            if block is not None:
+                return block
+        return None
+
+    def _relayout_tree(self) -> None:
+        """Re-place every block under the current position map (trusted setup).
+
+        Blocks are taken in tree-iteration order (bucket index, then slot)
+        followed by stash insertion order, exactly the order the array
+        backend replays, so both backends produce the same layout.
+        """
+        blocks = list(self.tree.iter_blocks()) + [
+            self.stash.pop(block_id) for block_id in self.stash.block_ids
+        ]
+        self.tree = self._make_tree()
+        self.stash.clear()
+        for block in blocks:
+            if block is None:
+                continue
+            block.leaf = self.position_map.get(block.block_id)
+            if not self.tree.try_place_on_path(block):
+                self.stash.add(block)
+
+
+class ArrayStorageEngine(TreeORAMEngine):
+    """Array storage backend: id slot arrays, row stash, client payload store.
+
+    The handle for a stashed block is its integer id; payloads live in a
+    client-side dict (payload location never affects traffic, so keeping it
+    out of the simulated server removes all per-block object churn from the
+    hot path).
+    """
+
+    def __init__(self, config: ORAMConfig, **kwargs):
+        super().__init__(config, **kwargs)
+        self._payloads: dict[int, object] = {}
+        # Scratch buffers for the write-back planner (sized to the stash's
+        # row count on demand) so the per-path xor/frexp pass allocates
+        # nothing.
+        self._wb_xor = np.empty(256, dtype=np.int64)
+        self._wb_mant = np.empty(256, dtype=np.float64)
+        self._wb_bitlen = np.empty(256, dtype=np.intc)
+        self._bulk_load()
+
+    # -- construction ---------------------------------------------------
+    def _make_tree(self) -> ArrayTreeStorage:
+        return ArrayTreeStorage(
+            depth=self.config.depth,
+            bucket_capacities=self.config.bucket_capacities(),
+            block_size_bytes=self.config.block_size_bytes,
+            metadata_bytes_per_block=self.config.metadata_bytes_per_block,
+        )
+
+    def _make_stash(self) -> ArrayStash:
+        return ArrayStash(
+            num_blocks=self.config.num_blocks,
+            num_leaves=self.config.num_leaves,
+            capacity=self.config.stash_capacity,
+        )
+
+    def _bulk_load(self) -> None:
+        """Place every block into the tree according to its initial path.
+
+        One vectorized pass per level; overflow goes to the stash in
+        ascending id order, exactly as the per-object bulk load does.
+        """
+        overflow = self.tree.bulk_place(self.position_map.leaves)
+        self.stash.append_rows(overflow, self.position_map.leaves[overflow])
+
+    def load_payloads(self, payloads: dict[int, object]) -> None:
+        """Install payloads for blocks during trusted setup (no traffic charged)."""
+        for block_id in payloads:
+            if not 0 <= block_id < self.config.num_blocks:
+                raise BlockNotFoundError(
+                    f"payload block id {block_id} not present in the ORAM"
+                )
+        self._payloads.update(payloads)
+
+    # -- stash hooks ----------------------------------------------------
+    def _stash_lookup(self, block_id: int) -> Optional[int]:
+        if block_id in self.stash:
+            return block_id
+        return None
+
+    def _stash_detach(self, block_id: int) -> Optional[int]:
+        if self.stash.pop(block_id):
+            return block_id
+        return None
+
+    def _stash_reattach(self, handle: int) -> None:
+        self.stash.add(handle, int(self.position_map.leaves[handle]))
+
+    def _stash_insert(self, handle: int, leaf: int) -> None:
+        self.stash.add(handle, leaf)
+
+    def _update_leaf(self, block_id: int, leaf: int) -> None:
+        self.position_map.set(block_id, leaf)
+        self.stash.set_leaf(block_id, leaf)
+
+    # -- access hooks ---------------------------------------------------
+    def _serve(
+        self, handle: int, op: AccessOp, new_payload: Optional[object]
+    ) -> Optional[object]:
+        if op is AccessOp.WRITE:
+            self._payloads[handle] = new_payload
+        return self._payloads.get(handle)
+
+    def _remap(self, handle: int) -> None:
+        """Assign the block a fresh path (position map + stash leaf mirror).
+
+        Remap always happens while the block sits in the stash, so both the
+        authoritative position-map entry and the stash's leaf row are
+        updated together.
+        """
+        leaf = self._choose_new_leaf(handle)
+        self.position_map.set(handle, leaf)
+        self.stash.set_leaf(handle, leaf)
+
+    def _fetch_path(self, leaf: int) -> None:
+        ids = self.tree.read_path_ids(leaf)
+        if ids.size:
+            self.stash.append_rows(ids, self.position_map.leaves[ids])
+
+    #: Row count below which the write-back planner runs its scalar path:
+    #: one bulk ``tolist`` plus pure-Python grouping beats ~10 numpy
+    #: dispatches on the tiny stashes the single-path protocols keep.
+    SCALAR_WB_ROWS = 96
+
+    def _commit_write_back(self, leaf: int) -> None:
+        """Greedy write-back onto the path to ``leaf``.
+
+        The selection replicates ``plan_greedy_write_back`` exactly — same
+        eligibility (path-prefix rule), same occupancy awareness and same
+        tie-breaking order.  Two implementations produce the identical
+        choice: a scalar pass for small stashes (PathORAM/RingORAM/PrORAM
+        keep a handful of live rows, where numpy dispatch overhead dominates)
+        and a vectorized xor/frexp pass for large ones (LAORAM superblock
+        bins under eviction pressure).
+        """
+        stash = self.stash
+        if not len(stash):
+            return
+        if stash.tail <= self.SCALAR_WB_ROWS:
+            self._commit_write_back_scalar(leaf)
+        else:
+            self._commit_write_back_vector(leaf)
+
+    def _commit_write_back_scalar(self, leaf: int) -> None:
+        """Pure-Python grouping over one bulk ``tolist`` of the stash rows.
+
+        bit_length(leaf xor path) groups rows by deepest common level
+        (xor == 0 -> bit length 0 -> common level == depth); appending in
+        row order keeps ascending insertion order within a level, the
+        stable-sort tie-breaking of the vectorized pass.  Holes carry the
+        sentinel leaf whose xor bit length exceeds ``depth``, so they are
+        skipped.
+        """
+        stash = self.stash
+        depth = self._depth
+        groups: list[list[int]] = [[] for _ in range(depth + 1)]
+        for row, row_leaf in enumerate(stash.leaf_rows[: stash.tail].tolist()):
+            bitlen = (row_leaf ^ leaf).bit_length()
+            if bitlen <= depth:
+                groups[bitlen].append(row)
+        self._select_and_commit(leaf, groups)
+
+    def _commit_write_back_vector(self, leaf: int) -> None:
+        """Vectorized grouping: one xor/frexp pass over the stash's rows.
+
+        frexp's exponent IS the bit length for non-negative ints (and 0 for
+        0), exact far below 2^53; a stable argsort keeps ascending insertion
+        (row) order within a level, and holes (bit length depth + 2) sort
+        after every real row, so slicing the ordering at the live count
+        drops exactly the holes.
+        """
+        stash = self.stash
+        live = len(stash)
+        depth = self._depth
+        tail = stash.tail
+        n = self._wb_xor.size
+        if n < tail:
+            while n < tail:
+                n *= 2
+            self._wb_xor = np.empty(n, dtype=np.int64)
+            self._wb_mant = np.empty(n, dtype=np.float64)
+            self._wb_bitlen = np.empty(n, dtype=np.intc)
+        xor = self._wb_xor[:tail]
+        bitlen = self._wb_bitlen[:tail]
+        np.bitwise_xor(stash.leaf_rows[:tail], leaf, out=xor)
+        np.frexp(xor, self._wb_mant[:tail], bitlen)
+        grouped = np.argsort(bitlen, kind="stable")[:live].tolist()
+        counts = np.bincount(bitlen, minlength=depth + 1).tolist()
+        groups: list[list[int]] = []
+        cursor = 0
+        for count in counts[: depth + 1]:
+            groups.append(grouped[cursor : cursor + count])
+            cursor += count
+        self._select_and_commit(leaf, groups)
+
+    def _select_and_commit(self, leaf: int, groups: list[list[int]]) -> None:
+        """Greedy LIFO selection shared by the scalar and vector planners.
+
+        ``groups[b]`` holds the stash rows whose leaf-xor bit length is
+        ``b`` (i.e. whose deepest common level with ``leaf`` is
+        ``depth - b``), each in ascending insertion order.  The selection is
+        the identical decision procedure either way, so the two grouping
+        passes cannot drift apart.
+        """
+        tree = self.tree
+        stash = self.stash
+        depth = self._depth
+        buckets, occupancies = tree.path_state(leaf)
+        caps = tree.bucket_capacities
+        level_base = tree.level_base
+        pool: list[int] = []
+        chosen_rows: list[int] = []
+        chosen_slots: list[int] = []
+        for level in range(depth, -1, -1):
+            group = groups[depth - level]
+            if group:
+                pool.extend(group)
+            if not pool:
+                continue
+            occupancy = occupancies[level]
+            free = caps[level] - occupancy
+            if free <= 0:
+                continue
+            take = free if free < len(pool) else len(pool)
+            # Popping one by one from the pool's tail == reversed slice.
+            chosen_rows.extend(pool[: -take - 1 : -1])
+            del pool[-take:]
+            slot = (
+                level_base[level]
+                + (leaf >> (depth - level)) * caps[level]
+                + occupancy
+            )
+            chosen_slots.extend(range(slot, slot + take))
+            occupancies[level] = occupancy + take
+        if chosen_rows:
+            # Capacity is respected by construction (take <= free), so
+            # the whole path commits in two scatters.
+            chosen_ids = stash.id_rows[chosen_rows]
+            tree.commit_path_write(buckets, occupancies, chosen_slots, chosen_ids)
+            stash.remove_rows(chosen_rows, chosen_ids)
+
+    def _remove_from_path(self, leaf: int, block_id: int) -> Optional[int]:
+        if self.tree.remove_on_path(leaf, block_id):
+            return block_id
+        return None
+
+    def _relayout_tree(self) -> None:
+        """Re-place every block under the current position map (trusted setup).
+
+        Replays the per-object relayout exactly: blocks are taken in
+        tree-iteration order (bucket index, then slot) followed by stash
+        insertion order, and each is placed as deep as possible on its
+        (updated) path, overflowing to the stash.
+        """
+        ordered: list[int] = []
+        for _, _, ids in self.tree.iter_node_ids():
+            ordered.extend(ids.tolist())
+        ordered.extend(self.stash.block_ids)
+        self.tree = self._make_tree()
+        self.stash.clear()
+        pm_leaves = self.position_map.leaves
+        for block_id in ordered:
+            leaf = int(pm_leaves[block_id])
+            if not self.tree.try_place_id(block_id, leaf):
+                self.stash.add(block_id, leaf)

@@ -13,6 +13,12 @@ the paper:
 6. when the stash exceeds the background-eviction threshold, issue dummy
    reads of random paths until it drains to the target.
 
+The whole sequence lives in :class:`~repro.oram.engine.TreeORAMEngine`
+(shared with PrORAM, RingORAM and LAORAM); this class binds it to the
+per-object :class:`~repro.oram.engine.ObjectStorageEngine` backend — Block
+objects in list buckets and a dict stash.  Its vectorized twin is
+:class:`~repro.oram.array_path_oram.ArrayPathORAM`.
+
 Traffic and simulated time are recorded through
 :class:`~repro.memory.accounting.TrafficCounter` and
 :class:`~repro.memory.timing.TimingModel`, which the evaluation harness turns
@@ -21,231 +27,13 @@ into the paper's speedup / dummy-read / traffic metrics.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
-
-import numpy as np
-
-from repro.exceptions import BlockNotFoundError
-from repro.memory.accounting import TrafficCounter, TrafficSnapshot
-from repro.memory.block import Block
-from repro.memory.timing import TimingModel
-from repro.oram.base import AccessOp, ObliviousMemory
-from repro.oram.config import ORAMConfig
-from repro.oram.eviction import EvictionPolicy
-from repro.oram.position_map import PositionMap
-from repro.oram.stash import Stash
-from repro.oram.tree import TreeStorage
-from repro.oram.write_back import plan_greedy_write_back
-from repro.utils.rng import make_rng
+from repro.oram.engine import ObjectStorageEngine
 
 
-class PathORAM(ObliviousMemory):
-    """Reference PathORAM client + simulated server storage."""
+class PathORAM(ObjectStorageEngine):
+    """Reference PathORAM client + simulated server storage.
 
-    def __init__(
-        self,
-        config: ORAMConfig,
-        timing: Optional[TimingModel] = None,
-        counter: Optional[TrafficCounter] = None,
-        eviction: Optional[EvictionPolicy] = None,
-        rng: Optional[np.random.Generator] = None,
-        observer=None,
-    ):
-        self.config = config
-        self.timing = timing if timing is not None else TimingModel()
-        self.counter = counter if counter is not None else TrafficCounter()
-        self.rng = rng if rng is not None else make_rng(config.seed)
-        self.eviction = eviction if eviction is not None else EvictionPolicy(
-            enabled=config.background_eviction,
-            trigger_threshold=config.eviction_threshold,
-            drain_target=config.eviction_target,
-        )
-        self.observer = observer
-        self.tree = TreeStorage(
-            depth=config.depth,
-            bucket_capacities=config.bucket_capacities(),
-            block_size_bytes=config.block_size_bytes,
-            metadata_bytes_per_block=config.metadata_bytes_per_block,
-        )
-        self.stash = Stash(capacity=config.stash_capacity)
-        self.position_map = PositionMap(
-            num_blocks=config.num_blocks,
-            num_leaves=config.num_leaves,
-            rng=self.rng,
-        )
-        self._stash_hits = 0
-        self._bulk_load()
-
-    # ------------------------------------------------------------------
-    # Construction helpers
-    # ------------------------------------------------------------------
-    def _bulk_load(self) -> None:
-        """Place every block into the tree according to its initial path.
-
-        Initial placement is a trusted setup step performed before the
-        adversary starts observing, so it is not charged to the traffic
-        counters.
-        """
-        for block_id in range(self.config.num_blocks):
-            leaf = self.position_map.get(block_id)
-            block = Block(block_id=block_id, leaf=leaf, payload=None)
-            if not self.tree.try_place_on_path(block):
-                self.stash.add(block)
-
-    def load_payloads(self, payloads: dict[int, object]) -> None:
-        """Install payloads for blocks during trusted setup (no traffic charged)."""
-        remaining = dict(payloads)
-        for block in self.stash:
-            if block.block_id in remaining:
-                block.payload = remaining.pop(block.block_id)
-        if remaining:
-            for block in self.tree.iter_blocks():
-                if block.block_id in remaining:
-                    block.payload = remaining.pop(block.block_id)
-                    if not remaining:
-                        break
-        if remaining:
-            raise BlockNotFoundError(
-                f"{len(remaining)} payload block ids not present in the ORAM"
-            )
-
-    # ------------------------------------------------------------------
-    # ObliviousMemory interface
-    # ------------------------------------------------------------------
-    @property
-    def num_blocks(self) -> int:
-        return self.config.num_blocks
-
-    @property
-    def statistics(self) -> TrafficSnapshot:
-        return self.counter.snapshot()
-
-    @property
-    def simulated_time_s(self) -> float:
-        return self.timing.elapsed_s
-
-    @property
-    def server_memory_bytes(self) -> int:
-        return self.tree.server_memory_bytes
-
-    @property
-    def stash_occupancy(self) -> int:
-        """Current number of blocks held in the client stash."""
-        return len(self.stash)
-
-    @property
-    def stash_hits(self) -> int:
-        """Accesses served directly from the stash without a path read."""
-        return self._stash_hits
-
-    def access(
-        self,
-        block_id: int,
-        op: AccessOp = AccessOp.READ,
-        new_payload: Optional[object] = None,
-    ) -> Optional[object]:
-        """Perform one oblivious access to ``block_id``."""
-        self._check_block_id(block_id)
-        self.counter.record_logical_access()
-        self.timing.charge_client_overhead()
-
-        block = self.stash.get(block_id)
-        if block is None:
-            leaf = self.position_map.get(block_id)
-            self._read_path_into_stash(leaf, dummy=False)
-            block = self.stash.get(block_id)
-            if block is None:
-                raise BlockNotFoundError(
-                    f"block {block_id} missing from both stash and its path"
-                )
-            payload = self._serve(block, op, new_payload)
-            self._remap(block)
-            self._write_back(leaf)
-        else:
-            self._stash_hits += 1
-            payload = self._serve(block, op, new_payload)
-            self._remap(block)
-
-        self._maybe_background_evict()
-        self.counter.observe_stash(len(self.stash))
-        return payload
-
-    def access_many(self, block_ids: Sequence[int]) -> list[Optional[object]]:
-        """Access blocks one at a time (PathORAM has no batching)."""
-        return [self.access(int(block_id)) for block_id in block_ids]
-
-    # ------------------------------------------------------------------
-    # Internals shared with subclasses (PrORAM / LAORAM)
-    # ------------------------------------------------------------------
-    def _serve(
-        self, block: Block, op: AccessOp, new_payload: Optional[object]
-    ) -> Optional[object]:
-        if op is AccessOp.WRITE:
-            block.payload = new_payload
-        return block.payload
-
-    def _remap(self, block: Block) -> None:
-        """Assign the block a fresh path and update the position map."""
-        new_leaf = self._choose_new_leaf(block.block_id)
-        block.leaf = new_leaf
-        self.position_map.set(block.block_id, new_leaf)
-
-    def _choose_new_leaf(self, block_id: int) -> int:
-        """Uniformly random new path; LAORAM overrides this with its plan."""
-        return int(self.rng.integers(0, self.config.num_leaves))
-
-    def _read_path_into_stash(self, leaf: int, dummy: bool) -> None:
-        """Fetch a full path from the server into the stash."""
-        num_buckets, num_bytes = self.tree.path_cost(leaf)
-        for block in self.tree.read_path(leaf):
-            self.stash.add(block)
-        self.counter.record_path_read(num_buckets, num_bytes, dummy=dummy)
-        self.timing.charge_path_transfer(num_buckets, num_bytes)
-        if self.observer is not None:
-            self.observer.observe_path(leaf, dummy=dummy)
-
-    def _write_back(self, leaf: int) -> None:
-        """Greedily write stash blocks back onto the path to ``leaf``."""
-        placement = self._plan_write_back(leaf)
-        self.tree.write_path(leaf, placement)
-        num_buckets, num_bytes = self.tree.path_cost(leaf)
-        self.counter.record_path_write(num_buckets, num_bytes)
-        self.timing.charge_path_transfer(num_buckets, num_bytes)
-
-    def _plan_write_back(self, leaf: int) -> dict[int, list[Block]]:
-        """Choose which stash blocks go to which level of the accessed path."""
-        return plan_greedy_write_back(self.tree, self.stash, leaf)
-
-    def _maybe_background_evict(self) -> None:
-        """Run the dummy-read eviction loop when the stash is too full."""
-        if not self.eviction.should_trigger(len(self.stash)):
-            return
-        self.counter.record_background_eviction()
-        dummy_reads = 0
-        while self.eviction.should_continue(len(self.stash), dummy_reads):
-            self.dummy_access()
-            dummy_reads += 1
-
-    def dummy_access(self) -> None:
-        """Read and write back one random path without touching any block."""
-        leaf = int(self.rng.integers(0, self.config.num_leaves))
-        self._read_path_into_stash(leaf, dummy=True)
-        self._write_back(leaf)
-
-    def _check_block_id(self, block_id: int) -> None:
-        if not 0 <= block_id < self.config.num_blocks:
-            raise BlockNotFoundError(
-                f"block {block_id} outside [0, {self.config.num_blocks})"
-            )
-
-    # ------------------------------------------------------------------
-    # Diagnostics
-    # ------------------------------------------------------------------
-    def total_real_blocks(self) -> int:
-        """Blocks present across tree and stash (must equal ``num_blocks``)."""
-        return self.tree.real_block_count() + len(self.stash)
-
-    def client_memory_bytes(self) -> int:
-        """Approximate client memory: position map plus stash payload slots."""
-        stash_bytes = len(self.stash) * self.config.stored_block_bytes
-        return self.position_map.client_memory_bytes() + stash_bytes
+    The access/eviction control flow and the storage backend both come from
+    :mod:`repro.oram.engine`; PathORAM adds nothing on top — it *is* the
+    base protocol.
+    """

@@ -22,6 +22,12 @@ On the near-random embedding-table traces of the LAORAM paper (Fig. 2),
 dynamic PrORAM finds almost no mergeable locality and degrades to PathORAM,
 which is why the paper uses plain PathORAM as its baseline.  This
 implementation exists to reproduce that observation.
+
+The superblock policy lives in :class:`SuperblockPolicyMixin`, written
+against the storage hooks of :class:`~repro.oram.engine.TreeORAMEngine`, so
+the same control flow runs on both backends: :class:`PrORAM` (per-object
+reference) and :class:`ArrayPrORAM` (vectorized twin, bit-identical counters
+for a fixed seed).
 """
 
 from __future__ import annotations
@@ -34,8 +40,8 @@ import numpy as np
 
 from repro.exceptions import BlockNotFoundError, ConfigurationError
 from repro.memory.accounting import TrafficCounter
-from repro.memory.block import Block
 from repro.memory.timing import TimingModel
+from repro.oram.array_path_oram import ArrayPathORAM
 from repro.oram.base import AccessOp
 from repro.oram.config import ORAMConfig
 from repro.oram.eviction import EvictionPolicy
@@ -49,8 +55,15 @@ class SuperblockMode(enum.Enum):
     DYNAMIC = "dynamic"
 
 
-class PrORAM(PathORAM):
-    """PathORAM with history-based (PrORAM-style) superblocks."""
+class SuperblockPolicyMixin:
+    """PrORAM-style superblock policy over the shared engine's storage hooks.
+
+    The mixin owns group bookkeeping (locality counters, merge set) and the
+    merged-access control flow — fetch once, remap the whole group to one
+    fresh path, hold the partners in the stash across the write-back.  All
+    block movement goes through the backend-agnostic stash/tree hooks, so
+    the per-object and array engines make identical decisions.
+    """
 
     def __init__(
         self,
@@ -113,25 +126,10 @@ class PrORAM(PathORAM):
     def _colocate_groups(self) -> None:
         """Trusted-setup relayout placing each group on one shared path."""
         for group in range(self._num_groups()):
-            shared_leaf = int(self.rng.integers(0, self.config.num_leaves))
+            shared_leaf = int(self.rng.integers(0, self._num_leaves))
             for member in self.group_members(group):
                 self.position_map.set(member, shared_leaf)
-        blocks = list(self.tree.iter_blocks()) + [
-            self.stash.pop(block_id) for block_id in self.stash.block_ids
-        ]
-        self.tree = type(self.tree)(
-            depth=self.config.depth,
-            bucket_capacities=self.config.bucket_capacities(),
-            block_size_bytes=self.config.block_size_bytes,
-            metadata_bytes_per_block=self.config.metadata_bytes_per_block,
-        )
-        self.stash.clear()
-        for block in blocks:
-            if block is None:
-                continue
-            block.leaf = self.position_map.get(block.block_id)
-            if not self.tree.try_place_on_path(block):
-                self.stash.add(block)
+        self._relayout_tree()
 
     def _update_locality(self, block_id: int) -> None:
         """Dynamic-mode counter update based on recently accessed blocks."""
@@ -174,44 +172,42 @@ class PrORAM(PathORAM):
         self.counter.record_logical_access()
         self.timing.charge_client_overhead()
 
-        block = self.stash.get(block_id)
+        handle = self._stash_lookup(block_id)
         read_leaf: Optional[int] = None
-        if block is None:
+        if handle is None:
             read_leaf = self.position_map.get(block_id)
             self._read_path_into_stash(read_leaf, dummy=False)
-            block = self.stash.get(block_id)
-            if block is None:
+            handle = self._stash_lookup(block_id)
+            if handle is None:
                 raise BlockNotFoundError(
                     f"block {block_id} missing from both stash and its path"
                 )
         else:
             self._stash_hits += 1
-        payload = self._serve(block, op, new_payload)
+        payload = self._serve(handle, op, new_payload)
 
         # All group members currently resident in the stash are remapped to a
         # single fresh path so they travel together from now on.
-        shared_leaf = int(self.rng.integers(0, self.config.num_leaves))
+        shared_leaf = int(self.rng.integers(0, self._num_leaves))
         members = self.group_members(group)
         for member in members:
-            member_block = self.stash.get(member)
-            if member_block is not None:
-                member_block.leaf = shared_leaf
-                self.position_map.set(member, shared_leaf)
+            if member in self.stash:
+                self._update_leaf(member, shared_leaf)
 
         if read_leaf is not None:
             # Hold the just-fetched partners in the stash across the
             # write-back: imminent accesses to them become stash hits, which
             # is where PrORAM's path-read savings come from.
-            held: list[Block] = []
+            held = []
             for member in members:
                 if member == block_id:
                     continue
-                member_block = self.stash.pop(member)
-                if member_block is not None:
-                    held.append(member_block)
+                member_handle = self._stash_detach(member)
+                if member_handle is not None:
+                    held.append(member_handle)
             self._write_back(read_leaf)
-            for member_block in held:
-                self.stash.add(member_block)
+            for member_handle in held:
+                self._stash_reattach(member_handle)
         self._maybe_background_evict()
         self.counter.observe_stash(len(self.stash))
         return payload
@@ -223,3 +219,17 @@ class PrORAM(PathORAM):
     def merged_group_count(self) -> int:
         """Number of groups currently treated as superblocks."""
         return len(self._merged_groups)
+
+
+class PrORAM(SuperblockPolicyMixin, PathORAM):
+    """PathORAM with history-based (PrORAM-style) superblocks (per-object)."""
+
+
+class ArrayPrORAM(SuperblockPolicyMixin, ArrayPathORAM):
+    """Vectorized PrORAM twin: superblock policy over the array backend.
+
+    Path reads, write-back planning and the static-mode relayout all run on
+    the array storage engine while the policy draws from the RNG in exactly
+    the per-object order, so a fixed seed gives bit-identical traffic
+    counters to :class:`PrORAM`.
+    """

@@ -10,6 +10,12 @@ This is a faithful-but-simplified model: XOR-compression of the online read
 and the exact metadata layout of the original paper are abstracted away, but
 the quantities the comparison cares about — blocks moved per access, eviction
 frequency, stash behaviour — follow the protocol.
+
+The protocol lives in :class:`RingProtocolMixin`, written against the
+storage hooks of :class:`~repro.oram.engine.TreeORAMEngine`, so the same
+control flow runs on both backends: :class:`RingORAM` (per-object reference)
+and :class:`ArrayRingORAM` (vectorized twin, bit-identical counters for a
+fixed seed).
 """
 
 from __future__ import annotations
@@ -19,17 +25,11 @@ from typing import Optional
 import numpy as np
 
 from repro.exceptions import BlockNotFoundError, ConfigurationError
-from repro.memory.accounting import TrafficCounter, TrafficSnapshot
-from repro.memory.block import Block
+from repro.memory.accounting import TrafficCounter
 from repro.memory.timing import TimingModel
-from repro.oram.base import AccessOp, ObliviousMemory
+from repro.oram.base import AccessOp
 from repro.oram.config import ORAMConfig
-from repro.oram.position_map import PositionMap
-from repro.oram.stash import Stash
-from repro.oram.tree import TreeStorage
-from repro.oram.write_back import plan_greedy_write_back
-from repro.utils.bits import path_node_indices
-from repro.utils.rng import make_rng
+from repro.oram.engine import ArrayStorageEngine, ObjectStorageEngine
 
 
 def reverse_lexicographic_leaf(counter: int, depth: int) -> int:
@@ -41,8 +41,14 @@ def reverse_lexicographic_leaf(counter: int, depth: int) -> int:
     return leaf
 
 
-class RingORAM(ObliviousMemory):
-    """Simplified RingORAM client and server model."""
+class RingProtocolMixin:
+    """RingORAM control flow over the shared engine's storage hooks.
+
+    The mixin owns every protocol decision — online single-block reads,
+    the per-bucket dummy budget, scheduled reverse-lexicographic evictions —
+    and all counter/timing charges.  Storage backends only move blocks, so
+    the per-object and array engines are decision-identical by construction.
+    """
 
     def __init__(
         self,
@@ -58,24 +64,10 @@ class RingORAM(ObliviousMemory):
             raise ConfigurationError("dummies_per_bucket must be >= 1")
         if evict_rate < 1:
             raise ConfigurationError("evict_rate must be >= 1")
-        self.config = config
         self.dummies_per_bucket = dummies_per_bucket
         self.evict_rate = evict_rate
-        self.timing = timing if timing is not None else TimingModel()
-        self.counter = counter if counter is not None else TrafficCounter()
-        self.rng = rng if rng is not None else make_rng(config.seed)
-        self.observer = observer
-        self.tree = TreeStorage(
-            depth=config.depth,
-            bucket_capacities=config.bucket_capacities(),
-            block_size_bytes=config.block_size_bytes,
-            metadata_bytes_per_block=config.metadata_bytes_per_block,
-        )
-        self.stash = Stash(capacity=config.stash_capacity)
-        self.position_map = PositionMap(
-            num_blocks=config.num_blocks,
-            num_leaves=config.num_leaves,
-            rng=self.rng,
+        super().__init__(
+            config, timing=timing, counter=counter, rng=rng, observer=observer
         )
         # Number of single-block reads a bucket has served since its last
         # reshuffle; once it reaches ``dummies_per_bucket`` the bucket must be
@@ -83,56 +75,13 @@ class RingORAM(ObliviousMemory):
         self._bucket_read_counts = np.zeros(self.tree.num_buckets, dtype=np.int64)
         self._access_count = 0
         self._evict_counter = 0
-        self._bulk_load()
 
     # ------------------------------------------------------------------
-    def _bulk_load(self) -> None:
-        for block_id in range(self.config.num_blocks):
-            leaf = self.position_map.get(block_id)
-            block = Block(block_id=block_id, leaf=leaf, payload=None)
-            if not self.tree.try_place_on_path(block):
-                self.stash.add(block)
-
-    def load_payloads(self, payloads: dict[int, object]) -> None:
-        """Install payloads for blocks during trusted setup (no traffic charged)."""
-        remaining = dict(payloads)
-        for block in self.stash:
-            if block.block_id in remaining:
-                block.payload = remaining.pop(block.block_id)
-        if remaining:
-            for block in self.tree.iter_blocks():
-                if block.block_id in remaining:
-                    block.payload = remaining.pop(block.block_id)
-                    if not remaining:
-                        break
-        if remaining:
-            raise BlockNotFoundError(
-                f"{len(remaining)} payload block ids not present in the ORAM"
-            )
-
-    # ------------------------------------------------------------------
-    @property
-    def num_blocks(self) -> int:
-        return self.config.num_blocks
-
-    @property
-    def statistics(self) -> TrafficSnapshot:
-        return self.counter.snapshot()
-
-    @property
-    def simulated_time_s(self) -> float:
-        return self.timing.elapsed_s
-
     @property
     def server_memory_bytes(self) -> int:
         # Ring buckets carry extra dummy slots compared to the PathORAM tree.
         extra_slots = self.tree.num_buckets * self.dummies_per_bucket
         return self.tree.server_memory_bytes + extra_slots * self.tree.stored_block_bytes
-
-    @property
-    def stash_occupancy(self) -> int:
-        """Current stash size in blocks."""
-        return len(self.stash)
 
     # ------------------------------------------------------------------
     def access(
@@ -142,28 +91,22 @@ class RingORAM(ObliviousMemory):
         new_payload: Optional[object] = None,
     ) -> Optional[object]:
         """Perform one RingORAM access (online read + scheduled evictions)."""
-        if not 0 <= block_id < self.config.num_blocks:
-            raise BlockNotFoundError(
-                f"block {block_id} outside [0, {self.config.num_blocks})"
-            )
+        self._check_block_id(block_id)
         self.counter.record_logical_access()
         self.timing.charge_client_overhead()
 
-        block = self.stash.pop(block_id)
+        handle = self._stash_detach(block_id)
         leaf = self.position_map.get(block_id)
-        if block is None:
-            block = self._online_read(leaf, block_id)
+        if handle is None:
+            handle = self._online_read(leaf, block_id)
         else:
             self._online_read(leaf, None)
 
-        if op is AccessOp.WRITE:
-            block.payload = new_payload
-        payload = block.payload
+        payload = self._serve(handle, op, new_payload)
 
-        new_leaf = int(self.rng.integers(0, self.config.num_leaves))
-        block.leaf = new_leaf
+        new_leaf = int(self.rng.integers(0, self._num_leaves))
         self.position_map.set(block_id, new_leaf)
-        self.stash.add(block)
+        self._stash_insert(handle, new_leaf)
 
         self._access_count += 1
         if self._access_count % self.evict_rate == 0:
@@ -173,18 +116,19 @@ class RingORAM(ObliviousMemory):
         return payload
 
     # ------------------------------------------------------------------
-    def _online_read(self, leaf: int, block_id: Optional[int]) -> Optional[Block]:
-        """Read one block per bucket along the path; return the target if found."""
-        found: Optional[Block] = None
-        indices = path_node_indices(leaf, self.tree.depth)
-        for index in indices:
-            bucket = self.tree.bucket_by_index(index)
-            if block_id is not None and found is None:
-                candidate = bucket.remove(block_id)
-                if candidate is not None:
-                    found = candidate
-            self._bucket_read_counts[index] += 1
-        num_buckets = len(indices)
+    def _online_read(self, leaf: int, block_id: Optional[int]):
+        """Read one block per bucket along the path; return the target if found.
+
+        A dummy online read (``block_id is None``) touches exactly the same
+        number of buckets and moves exactly the same number of bytes as a
+        real one — the indistinguishability RingORAM's security relies on.
+        """
+        found = None
+        if block_id is not None:
+            found = self._remove_from_path(leaf, block_id)
+        indices = self.tree.path_bucket_indices(leaf)
+        self._bucket_read_counts[indices] += 1
+        num_buckets = self.tree.depth + 1
         num_bytes = num_buckets * self.tree.stored_block_bytes
         self.counter.record_path_read(num_buckets, num_bytes, dummy=block_id is None)
         self.timing.charge_path_transfer(num_buckets, num_bytes)
@@ -196,42 +140,49 @@ class RingORAM(ObliviousMemory):
 
     def _reshuffle_exhausted_buckets(self, leaf: int) -> None:
         """Reshuffle buckets on the accessed path that ran out of dummies."""
-        for index in path_node_indices(leaf, self.tree.depth):
-            if self._bucket_read_counts[index] < self.dummies_per_bucket:
-                continue
-            bucket = self.tree.bucket_by_index(index)
+        indices = np.asarray(self.tree.path_bucket_indices(leaf), dtype=np.int64)
+        exhausted = indices[
+            self._bucket_read_counts[indices] >= self.dummies_per_bucket
+        ]
+        for index in exhausted.tolist():
             level = (index + 1).bit_length() - 1
             capacity = self.tree.capacity_at_level(level)
-            slot_bytes = (capacity + self.dummies_per_bucket) * self.tree.stored_block_bytes
-            # A reshuffle reads and rewrites the whole bucket.
+            slot_bytes = (
+                capacity + self.dummies_per_bucket
+            ) * self.tree.stored_block_bytes
+            # A reshuffle reads and rewrites the whole bucket; contents stay
+            # in place, only dummies are refreshed.
             self.counter.record_path_read(1, slot_bytes, dummy=True)
             self.counter.record_path_write(1, slot_bytes)
             self.timing.charge_path_transfer(1, 2 * slot_bytes)
             self._bucket_read_counts[index] = 0
-            # Contents stay in place; only dummies are refreshed.
-            _ = bucket
 
     def _evict_path(self) -> None:
         """Full read-and-rewrite of one path in reverse-lexicographic order."""
         leaf = reverse_lexicographic_leaf(self._evict_counter, self.tree.depth)
         self._evict_counter += 1
         num_buckets, num_bytes = self.tree.path_cost(leaf)
-        for block in self.tree.read_path(leaf):
-            self.stash.add(block)
+        self._fetch_path(leaf)
         self.counter.record_path_read(num_buckets, num_bytes, dummy=True)
         self.timing.charge_path_transfer(num_buckets, num_bytes)
 
-        placement = self._plan_write_back(leaf)
-        self.tree.write_path(leaf, placement)
+        self._commit_write_back(leaf)
         self.counter.record_path_write(num_buckets, num_bytes)
         self.timing.charge_path_transfer(num_buckets, num_bytes)
-        for index in path_node_indices(leaf, self.tree.depth):
-            self._bucket_read_counts[index] = 0
+        self._bucket_read_counts[self.tree.path_bucket_indices(leaf)] = 0
 
-    def _plan_write_back(self, leaf: int) -> dict[int, list[Block]]:
-        return plan_greedy_write_back(self.tree, self.stash, leaf)
 
-    # ------------------------------------------------------------------
-    def total_real_blocks(self) -> int:
-        """Blocks across tree and stash; invariant-checked in tests."""
-        return self.tree.real_block_count() + len(self.stash)
+class RingORAM(RingProtocolMixin, ObjectStorageEngine):
+    """Simplified RingORAM client and server model (per-object reference)."""
+
+
+class ArrayRingORAM(RingProtocolMixin, ArrayStorageEngine):
+    """Vectorized RingORAM twin: slot-array buckets with shared control flow.
+
+    Online reads gather the whole path's slots in one vectorized compare
+    (:meth:`~repro.oram.tree.ArrayTreeStorage.remove_on_path`), evictions
+    reuse the array engine's vectorized greedy write-back planner, and
+    per-bucket read counts live in one numpy vector — while drawing from the
+    RNG in exactly the per-object order, so a fixed seed gives bit-identical
+    traffic counters.
+    """

@@ -280,16 +280,17 @@ class ArrayStash:
         self._live -= 1
         return True
 
-    def remove_rows(self, rows: np.ndarray, block_ids: np.ndarray) -> None:
+    def remove_rows(self, rows, block_ids: np.ndarray) -> None:
         """Remove the blocks at ``rows`` (write-back victims), vectorized.
 
+        ``rows`` may be an ``int64`` array or a plain list of row numbers;
         ``block_ids`` must be ``id_rows[rows]`` — the caller already gathered
         them for the tree commit, so they are passed in rather than re-read.
         """
         self._ids[rows] = -1
         self._leaves[rows] = self._hole_leaf
         self._row_of[block_ids] = -1
-        self._live -= int(rows.size)
+        self._live -= len(rows)
 
     def clear(self) -> None:
         """Remove every entry."""

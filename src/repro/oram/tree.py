@@ -76,6 +76,10 @@ class TreeStorage:
         """The bucket with breadth-first ``index``."""
         return self._buckets[index]
 
+    def path_bucket_indices(self, leaf: int) -> list[int]:
+        """Breadth-first bucket indices of the path to ``leaf``, root first."""
+        return path_node_indices(leaf, self.depth)
+
     @property
     def stored_block_bytes(self) -> int:
         """Bytes one slot occupies on the wire (payload + metadata)."""
@@ -218,6 +222,10 @@ class ArrayTreeStorage:
             off.extend(range(capacity))
         self._tmpl_shift = np.asarray(shift, dtype=np.int64)
         self._tmpl_cap = np.asarray(cap_arr, dtype=np.int64)
+        self._tmpl_level = np.asarray(
+            [level for level, capacity in enumerate(caps) for _ in range(capacity)],
+            dtype=np.int64,
+        )
         # base and offset are both per-slot constants: fold them into one.
         self._tmpl_const = np.asarray(base, dtype=np.int64) + np.asarray(
             off, dtype=np.int64
@@ -297,6 +305,59 @@ class ArrayTreeStorage:
     def level_base(self) -> tuple[int, ...]:
         """Flat-slot start offset of each level's region."""
         return self._level_base
+
+    def path_bucket_indices(self, leaf: int) -> np.ndarray:
+        """Breadth-first bucket indices of the path to ``leaf``, root first."""
+        return self._node_base + (leaf >> self._node_shift)
+
+    def remove_on_path(self, leaf: int, block_id: int) -> bool:
+        """Remove ``block_id`` from the first bucket holding it on the path.
+
+        Matches :meth:`Bucket.remove` semantics: the bucket is scanned root
+        to leaf, and removal shifts the later slots of the bucket down one
+        position so insertion order is preserved.  Returns whether the block
+        was found.  This is RingORAM's online read, so only one block is
+        touched (the caller charges one slot per bucket, not full buckets).
+        """
+        slot_idx = (leaf >> self._tmpl_shift) * self._tmpl_cap
+        slot_idx += self._tmpl_const
+        hits = np.nonzero(self._slots[slot_idx] == block_id)[0]
+        if hits.size == 0:
+            return False
+        tmpl_pos = int(hits[0])
+        level = int(self._tmpl_level[tmpl_pos])
+        capacity = self.bucket_capacities[level]
+        node = leaf >> (self.depth - level)
+        bucket = ((1 << level) - 1) + node
+        occ = int(self._occ[bucket])
+        start = self._level_base[level] + node * capacity
+        pos = int(slot_idx[tmpl_pos])
+        # Shift the bucket's later occupants down one slot (occ <= a handful,
+        # so the copy is tiny); the vacated last slot becomes a dummy.
+        self._slots[pos : start + occ - 1] = self._slots[
+            pos + 1 : start + occ
+        ].copy()
+        self._slots[start + occ - 1] = -1
+        self._occ[bucket] = occ - 1
+        return True
+
+    def try_place_id(self, block_id: int, leaf: int) -> bool:
+        """Place ``block_id`` as deep as possible on its path; False if full.
+
+        Scalar counterpart of :meth:`bulk_place` matching
+        :meth:`TreeStorage.try_place_on_path` (used by trusted-setup
+        relayouts that must replay a specific placement order).
+        """
+        for level in range(self.depth, -1, -1):
+            capacity = self.bucket_capacities[level]
+            node = leaf >> (self.depth - level)
+            bucket = ((1 << level) - 1) + node
+            occ = int(self._occ[bucket])
+            if occ < capacity:
+                self._slots[self._level_base[level] + node * capacity + occ] = block_id
+                self._occ[bucket] = occ + 1
+                return True
+        return False
 
     def path_state(self, leaf: int) -> tuple[np.ndarray, list[int]]:
         """Bucket indices and current occupancies of the path to ``leaf``.

@@ -17,7 +17,6 @@ from repro.datasets.zipf import ZipfTraceGenerator
 from repro.exceptions import ConfigurationError, StashOverflowError
 from repro.oram.array_path_oram import ArrayPathORAM
 from repro.oram.config import ORAMConfig
-from repro.oram.path_oram import PathORAM
 from repro.oram.stash import ArrayStash
 from repro.oram.tree import ArrayTreeStorage
 
@@ -134,7 +133,13 @@ class TestArrayStash:
 
 
 class TestEngineEquivalence:
-    """Fixed seed => bit-identical traffic counters on both backends."""
+    """LAORAM-specific equivalence sweeps (fat tree x superblock size).
+
+    The family-by-family equivalence guarantee lives in
+    ``tests/test_engine_equivalence.py``; this class keeps the LAORAM
+    configuration sweep that exercises geometries the cross-family harness
+    does not.
+    """
 
     @pytest.mark.parametrize("fat_tree", [False, True])
     @pytest.mark.parametrize("superblock_size", [2, 4, 8])
@@ -152,18 +157,6 @@ class TestEngineEquivalence:
             fast.position_map.as_array(), reference.position_map.as_array()
         )
         assert fast.stash.block_ids == reference.stash.block_ids
-
-    def test_path_oram_twin_matches(self):
-        config = ORAMConfig(num_blocks=256, block_size_bytes=32, seed=21)
-        trace = ZipfTraceGenerator(256, seed=2).generate(2_000)
-        reference = PathORAM(config)
-        reference.access_many(trace.addresses)
-        fast = ArrayPathORAM(config)
-        fast.access_many(trace.addresses)
-        assert fast.statistics == reference.statistics
-        assert np.array_equal(
-            fast.position_map.as_array(), reference.position_map.as_array()
-        )
 
     def test_payloads_round_trip_identically(self):
         config = make_laoram_config(num_blocks=128, superblock_size=4)
@@ -328,8 +321,10 @@ class TestHarnessIntegration:
             build_engine("Normal/S4", oram, fast=True), FastLAORAMClient
         )
         assert isinstance(build_engine("Normal/S4", oram), LAORAMClient)
+        # Families without a twin raise the typed exception (still a
+        # ConfigurationError subclass for older callers).
         with pytest.raises(ConfigurationError):
-            build_engine("RingORAM", oram, fast=True)
+            build_engine("Insecure", oram, fast=True)
 
     def test_run_configuration_fast_matches_reference(self):
         from repro.datasets.base import AccessTrace

@@ -1,0 +1,169 @@
+"""Cross-family equivalence harness: reference engines vs their array twins.
+
+One parametrized suite asserts, for every engine family with a vectorized
+twin (pathoram, laoram, ringoram, proram static+dynamic), on uniform and
+Zipf traces and across seeds, that a fixed seed produces:
+
+* bit-identical :class:`~repro.memory.accounting.TrafficSnapshot` counters,
+* identical position maps and stash contents (same ids, same order), and
+* block conservation plus position-map / tree / stash coherence on both
+  backends.
+
+This replaces the ad-hoc PathORAM-only equivalence checks that used to live
+in ``tests/test_array_engine.py``: the guarantee "decision-identical for a
+fixed seed" is now enforced uniformly wherever ``build_engine(fast=True)``
+offers a twin, so a divergence introduced in any family's hot path fails
+here before it can skew a baseline comparison.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.laoram import LookaheadClientMixin
+from repro.datasets.zipf import ZipfTraceGenerator
+from repro.exceptions import UnsupportedEngineError
+from repro.experiments.configs import FAST_ENGINE_FAMILIES, build_engine
+from repro.oram.array_path_oram import ArrayPathORAM
+from repro.oram.engine import ArrayStorageEngine
+from repro.oram.pr_oram import ArrayPrORAM
+from repro.oram.ring_oram import ArrayRingORAM
+from repro.oram.config import ORAMConfig
+
+NUM_BLOCKS = 256
+NUM_ACCESSES = 1_200
+
+#: Every family with a fast twin, via the configuration label the harness
+#: uses to build it (PrORAM is exercised in both superblock modes).
+FAMILY_LABELS = (
+    "PathORAM",
+    "Normal/S4",
+    "RingORAM",
+    "PrORAM-dynamic/S2",
+    "PrORAM-static/S2",
+)
+
+
+def make_trace(workload: str, seed: int) -> np.ndarray:
+    if workload == "uniform":
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, NUM_BLOCKS, size=NUM_ACCESSES).astype(np.int64)
+    return ZipfTraceGenerator(NUM_BLOCKS, exponent=1.2, seed=seed).generate(
+        NUM_ACCESSES
+    ).addresses
+
+
+def run_engine(
+    label: str, seed: int, trace: np.ndarray, fast: bool, fat_tree: bool = False
+):
+    config = ORAMConfig(
+        num_blocks=NUM_BLOCKS, block_size_bytes=32, seed=seed, fat_tree=fat_tree
+    )
+    engine = build_engine(label, config, fast=fast)
+    if isinstance(engine, LookaheadClientMixin):
+        engine.run_trace(trace)
+    else:
+        engine.access_many(trace)
+    return engine
+
+
+def assert_engine_consistent(engine) -> None:
+    """Block conservation plus position-map / tree-leaf / stash coherence."""
+    num_blocks = engine.config.num_blocks
+    depth = engine.config.depth
+    pm = engine.position_map
+    assert engine.total_real_blocks() == num_blocks
+    seen: list[int] = []
+    if isinstance(engine, ArrayStorageEngine):
+        for level, node, ids in engine.tree.iter_node_ids():
+            for block_id in ids.tolist():
+                seen.append(block_id)
+                # Path-prefix invariant: a stored block's assigned path must
+                # pass through the bucket holding it.
+                assert pm.get(block_id) >> (depth - level) == node
+        for block_id in engine.stash.block_ids:
+            seen.append(block_id)
+            # The stash's leaf mirror must agree with the position map.
+            assert engine.stash.leaf_of(block_id) == pm.get(block_id)
+    else:
+        for block in engine.tree.iter_blocks():
+            seen.append(block.block_id)
+            assert block.leaf == pm.get(block.block_id)
+        for block in engine.stash:
+            seen.append(block.block_id)
+            assert block.leaf == pm.get(block.block_id)
+    assert sorted(seen) == list(range(num_blocks))
+
+
+class TestCrossFamilyEquivalence:
+    """Fixed seed => bit-identical decisions on both storage backends."""
+
+    @pytest.mark.parametrize("seed", [11, 29])
+    @pytest.mark.parametrize("workload", ["uniform", "zipf"])
+    @pytest.mark.parametrize("label", FAMILY_LABELS)
+    def test_snapshots_bit_identical(self, label, workload, seed):
+        trace = make_trace(workload, seed)
+        reference = run_engine(label, seed, trace, fast=False)
+        fast = run_engine(label, seed, trace, fast=True)
+
+        assert fast.statistics == reference.statistics
+        assert np.array_equal(
+            fast.position_map.as_array(), reference.position_map.as_array()
+        )
+        assert list(fast.stash.block_ids) == list(reference.stash.block_ids)
+        assert_engine_consistent(reference)
+        assert_engine_consistent(fast)
+
+    @pytest.mark.parametrize("label", FAMILY_LABELS)
+    def test_fat_tree_snapshots_bit_identical(self, label):
+        # The fat tree's per-level capacities exercise the variable-capacity
+        # slot arithmetic (templates, remove_on_path, try_place_id) that the
+        # uniform-tree cases cannot.
+        trace = make_trace("zipf", 17)
+        reference = run_engine(label, 17, trace, fast=False, fat_tree=True)
+        fast = run_engine(label, 17, trace, fast=True, fat_tree=True)
+        assert fast.statistics == reference.statistics
+        assert np.array_equal(
+            fast.position_map.as_array(), reference.position_map.as_array()
+        )
+        assert list(fast.stash.block_ids) == list(reference.stash.block_ids)
+        assert_engine_consistent(fast)
+
+    @pytest.mark.parametrize("label", FAMILY_LABELS)
+    def test_payloads_round_trip_identically(self, label):
+        rng = np.random.default_rng(3)
+        writes = rng.integers(0, NUM_BLOCKS, size=40).tolist()
+        reads = rng.integers(0, NUM_BLOCKS, size=120).tolist()
+        outputs = []
+        for fast in (False, True):
+            config = ORAMConfig(num_blocks=NUM_BLOCKS, block_size_bytes=32, seed=5)
+            engine = build_engine(label, config, fast=fast)
+            for offset, block_id in enumerate(writes):
+                engine.write(block_id, f"payload-{offset}")
+            outputs.append(engine.access_many(reads))
+        assert outputs[0] == outputs[1]
+
+
+class TestFastEngineCoverage:
+    """build_engine(fast=True) covers every tree family, and only those."""
+
+    def test_every_family_has_a_fast_twin(self):
+        config = ORAMConfig(num_blocks=128, block_size_bytes=32, seed=1)
+        expected = {
+            "PathORAM": ArrayPathORAM,
+            "RingORAM": ArrayRingORAM,
+            "PrORAM-dynamic/S2": ArrayPrORAM,
+            "PrORAM-static/S4": ArrayPrORAM,
+        }
+        for label, engine_cls in expected.items():
+            engine = build_engine(label, config, fast=True)
+            assert type(engine) is engine_cls
+        assert FAST_ENGINE_FAMILIES == {"pathoram", "laoram", "ringoram", "proram"}
+
+    def test_missing_twin_raises_typed_exception(self):
+        config = ORAMConfig(num_blocks=128, block_size_bytes=32, seed=1)
+        with pytest.raises(UnsupportedEngineError) as excinfo:
+            build_engine("Insecure", config, fast=True)
+        message = str(excinfo.value)
+        assert "no vectorized (fast=True) engine" in message
+        assert "insecure" in message
+        assert "Insecure" in message

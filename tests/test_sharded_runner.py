@@ -81,6 +81,50 @@ class TestShardedRunner:
             engine.server_memory_bytes for engine in runner.engines
         )
 
+    @pytest.mark.parametrize("family", ["pathoram", "ringoram", "proram"])
+    @pytest.mark.parametrize("use_fast_engine", [False, True])
+    def test_non_laoram_families_run_sharded(self, family, use_fast_engine):
+        from repro.experiments.sharded import SHARDABLE_FAMILIES
+
+        num_blocks = 128
+        trace = ZipfTraceGenerator(num_blocks, seed=3).generate(600)
+        runner = ShardedRunner(
+            num_blocks=num_blocks,
+            num_shards=3,
+            family=family,
+            block_size_bytes=32,
+            use_fast_engine=use_fast_engine,
+        )
+        engine_cls = SHARDABLE_FAMILIES[family][1 if use_fast_engine else 0]
+        assert all(type(e) is engine_cls for e in runner.engines)
+        merged = runner.run_trace(trace.addresses)
+        assert merged.logical_accesses == 600
+        assert runner.total_real_blocks() == num_blocks
+        assert sum(r.num_accesses for r in runner.results) == 600
+
+    @pytest.mark.parametrize("family", ["pathoram", "ringoram", "proram", "laoram"])
+    def test_sharded_fast_matches_reference_per_family(self, family):
+        # Shard engines inherit seed + shard_id in both flavours, so the
+        # merged counters of the fast and reference runners must be
+        # bit-identical for every family.
+        num_blocks = 128
+        trace = ZipfTraceGenerator(num_blocks, seed=11).generate(700)
+        merged = [
+            ShardedRunner(
+                num_blocks=num_blocks,
+                num_shards=2,
+                family=family,
+                block_size_bytes=32,
+                use_fast_engine=fast,
+            ).run_trace(trace.addresses)
+            for fast in (False, True)
+        ]
+        assert merged[0] == merged[1]
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedRunner(num_blocks=64, num_shards=2, family="nosuch")
+
     def test_sharded_equals_merged_engine_decisions(self):
         # The same trace through fast and reference sharded runners yields
         # identical merged counters (shard engines inherit the seed+shard_id
