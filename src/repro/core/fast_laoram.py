@@ -138,9 +138,8 @@ class FastLAORAMClient(LookaheadClientMixin, ArrayPathORAM):
             leaves: dict[int, None] = {}
             for block_id in missing:
                 leaves.setdefault(int(pm_leaves[block_id]), None)
-            for leaf in leaves:
-                self._read_path_into_stash(leaf, dummy=False)
-                read_leaves.append(leaf)
+            read_leaves = list(leaves)
+            self._read_paths_into_stash(read_leaves, dummy=False)
             for block_id in missing:
                 if row_of[block_id] < 0:
                     raise BlockNotFoundError(
@@ -185,8 +184,7 @@ class FastLAORAMClient(LookaheadClientMixin, ArrayPathORAM):
                 pm_leaves[block_id] = leaf
                 stash_leaves[row_of[block_id]] = leaf
 
-        for leaf in read_leaves:
-            self._write_back(leaf)
+        self._write_back_many(read_leaves)
 
         self._trace_cursor = end_index + 1
         self._maybe_background_evict()

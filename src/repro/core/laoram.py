@@ -55,6 +55,13 @@ class LookaheadClientMixin:
 
     laoram_config: LAORAMConfig
 
+    #: LAORAM's batching is the superblock bin itself (``access_many`` and
+    #: ``write_many`` below chunk on bin boundaries); the generic batched
+    #: access protocol does not apply.  Bins still flow through the engine's
+    #: batched read/write-back hooks (``_read_paths_into_stash`` /
+    #: ``_write_back_many``).
+    SUPPORTS_BATCHED_ACCESS = False
+
     def __init__(
         self,
         config: LAORAMConfig,
@@ -330,9 +337,8 @@ class LAORAMClient(LookaheadClientMixin, PathORAM):
             leaves = {}
             for block_id in missing:
                 leaves.setdefault(self.position_map.get(block_id), []).append(block_id)
-            for leaf in leaves:
-                self._read_path_into_stash(leaf, dummy=False)
-                read_leaves.append(leaf)
+            read_leaves = list(leaves)
+            self._read_paths_into_stash(read_leaves, dummy=False)
 
         payloads: list[Optional[object]] = []
         for block_id in block_ids:
@@ -353,8 +359,7 @@ class LAORAMClient(LookaheadClientMixin, PathORAM):
             block.leaf = new_leaf
             self.position_map.set(block_id, new_leaf)
 
-        for leaf in read_leaves:
-            self._write_back(leaf)
+        self._write_back_many(read_leaves)
 
         self._trace_cursor = superblock.end_index + 1
         self._maybe_background_evict()

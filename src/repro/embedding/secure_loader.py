@@ -20,15 +20,34 @@ from repro.embedding.table import EmbeddingTable
 
 
 class SecureEmbeddingStore:
-    """Embedding table whose rows live inside an oblivious memory engine."""
+    """Embedding table whose rows live inside an oblivious memory engine.
 
-    def __init__(self, memory: ObliviousMemory, table: EmbeddingTable):
+    ``batch_size`` sets the batched-access chunk for engines that support
+    the batched protocol (``SUPPORTS_BATCHED_ACCESS``): each ``fetch_rows``
+    / ``update_rows`` call then amortises path reads and write-backs across
+    up to ``batch_size`` rows.  Engines without the protocol (LAORAM bins,
+    RingORAM, PrORAM, the insecure baseline) ignore it.
+    """
+
+    def __init__(
+        self,
+        memory: ObliviousMemory,
+        table: EmbeddingTable,
+        batch_size: int | None = None,
+    ):
         if memory.num_blocks < table.num_rows:
             raise ConfigurationError(
                 f"ORAM holds {memory.num_blocks} blocks but the table has "
                 f"{table.num_rows} rows"
             )
+        if batch_size is not None and batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
         self.memory = memory
+        self.batch_size = (
+            batch_size
+            if getattr(memory, "SUPPORTS_BATCHED_ACCESS", False)
+            else None
+        )
         self.dim = table.dim
         self.num_rows = table.num_rows
         self.row_nbytes = table.row_nbytes
@@ -41,7 +60,10 @@ class SecureEmbeddingStore:
     def fetch_rows(self, row_ids: Sequence[int] | np.ndarray) -> np.ndarray:
         """Obliviously fetch the embedding vectors for ``row_ids``."""
         ids = self._validate(row_ids)
-        payloads = self.memory.access_many(ids.tolist())
+        if self.batch_size is not None:
+            payloads = self.memory.access_many(ids.tolist(), batch_size=self.batch_size)
+        else:
+            payloads = self.memory.access_many(ids.tolist())
         rows = np.zeros((ids.size, self.dim), dtype=np.float32)
         for index, payload in enumerate(payloads):
             if payload is not None:
@@ -63,7 +85,14 @@ class SecureEmbeddingStore:
             raise ConfigurationError("values shape mismatch")
         write_many = getattr(self.memory, "write_many", None)
         if callable(write_many):
-            write_many(ids.tolist(), [value.copy() for value in values])
+            if self.batch_size is not None:
+                write_many(
+                    ids.tolist(),
+                    [value.copy() for value in values],
+                    batch_size=self.batch_size,
+                )
+            else:
+                write_many(ids.tolist(), [value.copy() for value in values])
             return
         for row_id, value in zip(ids.tolist(), values):
             self.memory.access(int(row_id), AccessOp.WRITE, new_payload=value.copy())

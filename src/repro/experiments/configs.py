@@ -117,6 +117,8 @@ def build_engine(
     observer=None,
     seed: Optional[int] = None,
     fast: bool = False,
+    batched: bool = False,
+    batch_size: int = 64,
 ) -> ObliviousMemory:
     """Instantiate the engine named by ``label`` on the given tree geometry.
 
@@ -126,6 +128,13 @@ def build_engine(
     produces counters bit-identical to the per-object engine for a fixed
     seed, only faster.  Families without a twin (the insecure baseline)
     raise :class:`~repro.exceptions.UnsupportedEngineError`.
+
+    ``batched=True`` turns on the chunked batched-access protocol
+    (``access_many``/``write_many`` amortise path reads and write-backs
+    across ``batch_size`` accesses).  Only PathORAM supports it; LAORAM
+    accepts-and-ignores the flag because its superblock bins already batch
+    on bin boundaries, and the remaining families raise
+    :class:`~repro.exceptions.UnsupportedEngineError`.
     """
     parsed = parse_label(label)
     config = oram_config if seed is None else oram_config.with_overrides(seed=seed)
@@ -136,12 +145,21 @@ def build_engine(
             f"(configuration '{label}'); fast engines cover "
             f"{sorted(FAST_ENGINE_FAMILIES)}"
         )
+    if batched and family not in ("pathoram", "laoram"):
+        raise UnsupportedEngineError(
+            f"family '{family}' (configuration '{label}') has no batched "
+            "access protocol; batching covers ['laoram', 'pathoram']"
+        )
     if family == "insecure":
         return InsecureMemory(config, counter=counter, observer=observer)
     if family == "pathoram":
         engine_cls = ArrayPathORAM if fast else PathORAM
         return engine_cls(
-            config, counter=counter, eviction=eviction, observer=observer
+            config,
+            counter=counter,
+            eviction=eviction,
+            observer=observer,
+            batch_size=batch_size if batched else None,
         )
     if family == "ringoram":
         engine_cls = ArrayRingORAM if fast else RingORAM

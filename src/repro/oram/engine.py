@@ -29,7 +29,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.exceptions import BlockNotFoundError
+from repro.exceptions import BlockNotFoundError, ConfigurationError
 from repro.memory.accounting import TrafficCounter, TrafficSnapshot
 from repro.memory.block import Block
 from repro.memory.timing import TimingModel
@@ -39,7 +39,7 @@ from repro.oram.eviction import EvictionPolicy
 from repro.oram.position_map import PositionMap
 from repro.oram.stash import ArrayStash, Stash
 from repro.oram.tree import ArrayTreeStorage, TreeStorage
-from repro.oram.write_back import plan_greedy_write_back
+from repro.oram.write_back import plan_batched_write_back, plan_greedy_write_back
 from repro.utils.rng import make_rng
 
 
@@ -51,7 +51,20 @@ class TreeORAMEngine(ObliviousMemory):
     (PrORAM superblocks, RingORAM online reads) override :meth:`access`
     while reusing the shared internals (`_read_path_into_stash`,
     `_write_back`, background eviction, counters).
+
+    Batching: ``batch_size`` opts a PathORAM-protocol engine into the
+    batched access protocol — :meth:`access_many` chunks requests into
+    batches served by :meth:`_access_batch` (one stash sweep, one grouped
+    multi-path read, one grouped write-back per batch).  Protocol variants
+    whose ``access`` does more than the PathORAM sequence set
+    ``SUPPORTS_BATCHED_ACCESS = False`` and always take the per-access
+    loop, whatever ``batch_size`` says.
     """
+
+    #: Whether the generic batched access protocol (:meth:`_access_batch`)
+    #: is valid for this engine.  Protocol mixins that override ``access``
+    #: (RingORAM online reads, PrORAM superblocks, LAORAM bins) disable it.
+    SUPPORTS_BATCHED_ACCESS = True
 
     def __init__(
         self,
@@ -61,7 +74,10 @@ class TreeORAMEngine(ObliviousMemory):
         eviction: Optional[EvictionPolicy] = None,
         rng: Optional[np.random.Generator] = None,
         observer=None,
+        batch_size: Optional[int] = None,
     ):
+        if batch_size is not None and batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1 when set")
         self.config = config
         self.timing = timing if timing is not None else TimingModel()
         self.counter = counter if counter is not None else TrafficCounter()
@@ -72,6 +88,7 @@ class TreeORAMEngine(ObliviousMemory):
             drain_target=config.eviction_target,
         )
         self.observer = observer
+        self.batch_size = batch_size
         self.tree = self._make_tree()
         self.stash = self._make_stash()
         self.position_map = PositionMap(
@@ -147,9 +164,106 @@ class TreeORAMEngine(ObliviousMemory):
         self.counter.observe_stash(len(self.stash))
         return payload
 
-    def access_many(self, block_ids: Sequence[int]) -> list[Optional[object]]:
-        """Access blocks one at a time (the base protocol has no batching)."""
-        return [self.access(int(block_id)) for block_id in block_ids]
+    def access_many(
+        self, block_ids: Sequence[int], batch_size: Optional[int] = None
+    ) -> list[Optional[object]]:
+        """Access several blocks, batching when the engine is configured to.
+
+        Without an effective batch size (``batch_size`` argument, falling
+        back to the engine's ``batch_size``), or on engines whose protocol
+        does not admit the generic batch (``SUPPORTS_BATCHED_ACCESS`` is
+        false), this is the classic one-access-at-a-time loop.  With one,
+        requests are chunked and each chunk is served by
+        :meth:`_access_batch`: one grouped multi-path read and one grouped
+        write-back per chunk instead of a path pair per access.
+        """
+        size = batch_size if batch_size is not None else self.batch_size
+        if size is None or size <= 1 or not self.SUPPORTS_BATCHED_ACCESS:
+            return [self.access(int(block_id)) for block_id in block_ids]
+        ids = [int(block_id) for block_id in block_ids]
+        payloads: list[Optional[object]] = []
+        for offset in range(0, len(ids), size):
+            payloads.extend(self._access_batch(ids[offset : offset + size]))
+        return payloads
+
+    def write_many(
+        self,
+        block_ids: Sequence[int],
+        payloads: Sequence[object],
+        batch_size: Optional[int] = None,
+    ) -> None:
+        """Write several blocks; batched exactly like :meth:`access_many`.
+
+        Duplicate ids within a batch keep the last payload, mirroring a
+        sequential write stream.
+        """
+        ids = [int(block_id) for block_id in block_ids]
+        if len(ids) != len(payloads):
+            raise ConfigurationError("block_ids and payloads must have equal length")
+        size = batch_size if batch_size is not None else self.batch_size
+        if size is None or size <= 1 or not self.SUPPORTS_BATCHED_ACCESS:
+            for block_id, payload in zip(ids, payloads):
+                self.access(block_id, AccessOp.WRITE, new_payload=payload)
+            return
+        for offset in range(0, len(ids), size):
+            chunk = ids[offset : offset + size]
+            updates = dict(zip(chunk, payloads[offset : offset + size]))
+            self._access_batch(chunk, new_payloads=updates)
+
+    def _access_batch(
+        self,
+        block_ids: list[int],
+        new_payloads: Optional[dict[int, object]] = None,
+    ) -> list[Optional[object]]:
+        """Serve one batch of accesses with grouped reads and write-backs.
+
+        The batched protocol mirrors LAORAM's superblock execution on a
+        plan-free engine: blocks already in the stash are served for free,
+        the rest are grouped by their current path (first-encounter order)
+        and every distinct path is fetched once, each distinct block is
+        remapped uniformly, and all fetched paths are written back together
+        through :meth:`_write_back_many`.  Every step runs through the
+        storage hooks, so the reference and array backends execute it
+        decision-for-decision identically.
+        """
+        if not block_ids:
+            return []
+        for block_id in block_ids:
+            self._check_block_id(block_id)
+        self.counter.record_logical_access(len(block_ids))
+        self.timing.charge_client_overhead(len(block_ids))
+
+        needed = list(dict.fromkeys(block_ids))
+        missing = [b for b in needed if self._stash_lookup(b) is None]
+        self._stash_hits += len(needed) - len(missing)
+        read_leaves: list[int] = []
+        if missing:
+            distinct: dict[int, None] = {}
+            for block_id in missing:
+                distinct.setdefault(self.position_map.get(block_id), None)
+            read_leaves = list(distinct)
+            self._read_paths_into_stash(read_leaves, dummy=False)
+            for block_id in missing:
+                if self._stash_lookup(block_id) is None:
+                    raise BlockNotFoundError(
+                        f"block {block_id} missing from both stash and its path"
+                    )
+
+        payloads: list[Optional[object]] = []
+        for block_id in block_ids:
+            handle = self._stash_lookup(block_id)
+            if new_payloads is not None and block_id in new_payloads:
+                payloads.append(self._serve(handle, AccessOp.WRITE, new_payloads[block_id]))
+            else:
+                payloads.append(self._serve(handle, AccessOp.READ, None))
+
+        for block_id in needed:
+            self._remap(self._stash_lookup(block_id))
+
+        self._write_back_many(read_leaves)
+        self._maybe_background_evict()
+        self.counter.observe_stash(len(self.stash))
+        return payloads
 
     # ------------------------------------------------------------------
     # Shared internals (counter/timing charges live here, not in backends)
@@ -167,6 +281,19 @@ class TreeORAMEngine(ObliviousMemory):
         if self.observer is not None:
             self.observer.observe_path(leaf, dummy=dummy)
 
+    def _read_paths_into_stash(
+        self, leaves: Sequence[int], dummy: bool = False
+    ) -> None:
+        """Fetch several full paths into the stash.
+
+        Default: one :meth:`_read_path_into_stash` per leaf, in order.  The
+        array backend overrides this with a single deduplicated multi-path
+        gather that yields the same stash contents in the same order (and
+        identical per-path charges/observations).
+        """
+        for leaf in leaves:
+            self._read_path_into_stash(leaf, dummy=dummy)
+
     def _write_back(self, leaf: int) -> None:
         """Greedily write stash blocks back onto the path to ``leaf``."""
         self._commit_write_back(leaf)
@@ -174,8 +301,27 @@ class TreeORAMEngine(ObliviousMemory):
         self.counter.record_path_write(num_buckets, num_bytes)
         self.timing.charge_path_transfer(num_buckets, num_bytes)
 
+    def _write_back_many(self, leaves: Sequence[int]) -> None:
+        """Write back every path of one batch (superblock bin or access batch).
+
+        Default: one :meth:`_write_back` per leaf, in order — the reference
+        semantics.  The array backend overrides this with the cross-path
+        batched planner, which commits a bit-identical placement in one
+        scatter.
+        """
+        for leaf in leaves:
+            self._write_back(leaf)
+
     def _maybe_background_evict(self) -> None:
-        """Run the dummy-read eviction loop when the stash is too full."""
+        """Run the dummy-read eviction loop when the stash is too full.
+
+        Always single-path episodes, even under the batched access protocol:
+        a read-one-write-one dummy access drains the stash monotonically,
+        whereas a grouped k-path episode floods the stash with every path's
+        blocks before any write-back and — on deep trees, where random paths
+        only share buckets near the root — leaves most of that flood behind,
+        so the drain target recedes and every episode runs to the dummy cap.
+        """
         if not self.eviction.should_trigger(len(self.stash)):
             return
         self.counter.record_background_eviction()
@@ -492,6 +638,64 @@ class ArrayStorageEngine(TreeORAMEngine):
         if ids.size:
             self.stash.append_rows(ids, self.position_map.leaves[ids])
 
+    def _read_paths_into_stash(
+        self, leaves: Sequence[int], dummy: bool = False
+    ) -> None:
+        """Fetch several paths with one deduplicated multi-path gather.
+
+        :meth:`ArrayTreeStorage.read_paths_ids` returns exactly the ids a
+        sequential per-leaf loop would (shared buckets counted at their
+        first path only), in the same order, so one ``append_rows`` leaves
+        the stash bit-identical to the default implementation.  Per-path
+        charges and observer events are preserved one per leaf.
+        """
+        if len(leaves) < 2:
+            for leaf in leaves:
+                self._read_path_into_stash(leaf, dummy=dummy)
+            return
+        ids = self.tree.read_paths_ids(np.asarray(leaves, dtype=np.int64))
+        if ids.size:
+            self.stash.append_rows(ids, self.position_map.leaves[ids])
+        observer = self.observer
+        for leaf in leaves:
+            num_buckets, num_bytes = self.tree.path_cost(leaf)
+            self.counter.record_path_read(num_buckets, num_bytes, dummy=dummy)
+            self.timing.charge_path_transfer(num_buckets, num_bytes)
+            if observer is not None:
+                observer.observe_path(leaf, dummy=dummy)
+
+    #: Whether :meth:`_write_back_many` uses the cross-path batched planner.
+    #: The plan it commits is bit-identical to the sequential per-path loop
+    #: (asserted by tests/test_batched_write_back.py and the equivalence
+    #: harness), so this stays on by default; the differential tests and the
+    #: benchmark's per-path mode flip it off per instance.
+    batched_write_back = True
+
+    def _write_back_many(self, leaves: Sequence[int]) -> None:
+        """Write back a batch of paths via the cross-path batched planner.
+
+        Single-leaf batches (the overwhelmingly common case for the
+        single-access protocols) keep the tuned per-path planner; larger
+        batches plan the union of paths in one vectorized pass and commit
+        with one scatter into the tree.
+        """
+        if len(leaves) < 2 or not self.batched_write_back:
+            for leaf in leaves:
+                self._write_back(leaf)
+            return
+        if len(self.stash):
+            rows, slots, buckets, occupancies = plan_batched_write_back(
+                self.tree, self.stash, leaves
+            )
+            if rows:
+                chosen_ids = self.stash.id_rows[rows]
+                self.tree.commit_batch_write(slots, chosen_ids, buckets, occupancies)
+                self.stash.remove_rows(rows, chosen_ids)
+        for leaf in leaves:
+            num_buckets, num_bytes = self.tree.path_cost(leaf)
+            self.counter.record_path_write(num_buckets, num_bytes)
+            self.timing.charge_path_transfer(num_buckets, num_bytes)
+
     #: Row count below which the write-back planner runs its scalar path:
     #: one bulk ``tolist`` plus pure-Python grouping beats ~10 numpy
     #: dispatches on the tiny stashes the single-path protocols keep.
@@ -622,19 +826,26 @@ class ArrayStorageEngine(TreeORAMEngine):
     def _relayout_tree(self) -> None:
         """Re-place every block under the current position map (trusted setup).
 
-        Replays the per-object relayout exactly: blocks are taken in
+        Replays the per-object relayout exactly — blocks are taken in
         tree-iteration order (bucket index, then slot) followed by stash
         insertion order, and each is placed as deep as possible on its
-        (updated) path, overflowing to the stash.
+        (updated) path — but runs it as one priority-ordered bulk placement
+        (:meth:`ArrayTreeStorage.bulk_place_ordered`) instead of a scalar
+        ``try_place_id`` per block, so PrORAM's static superblock relayout
+        at setup is a handful of vectorized passes.  Overflow enters the
+        stash in the same priority order the scalar loop would have used.
         """
-        ordered: list[int] = []
-        for _, _, ids in self.tree.iter_node_ids():
-            ordered.extend(ids.tolist())
-        ordered.extend(self.stash.block_ids)
+        ordered = np.concatenate(
+            [
+                self.tree.all_block_ids(),
+                np.asarray(self.stash.block_ids, dtype=np.int64),
+            ]
+        )
         self.tree = self._make_tree()
         self.stash.clear()
+        if ordered.size == 0:
+            return
         pm_leaves = self.position_map.leaves
-        for block_id in ordered:
-            leaf = int(pm_leaves[block_id])
-            if not self.tree.try_place_id(block_id, leaf):
-                self.stash.add(block_id, leaf)
+        overflow = self.tree.bulk_place_ordered(ordered, pm_leaves[ordered])
+        if overflow.size:
+            self.stash.append_rows(overflow, pm_leaves[overflow])

@@ -65,6 +65,10 @@ class SuperblockPolicyMixin:
     the per-object and array engines make identical decisions.
     """
 
+    #: PrORAM's access carries the superblock merge/hold policy; the
+    #: generic batched access protocol would bypass it.
+    SUPPORTS_BATCHED_ACCESS = False
+
     def __init__(
         self,
         config: ORAMConfig,

@@ -50,6 +50,10 @@ class RingProtocolMixin:
     the per-object and array engines are decision-identical by construction.
     """
 
+    #: RingORAM's access is an online single-block read plus scheduled
+    #: evictions; the generic batched access protocol would bypass it.
+    SUPPORTS_BATCHED_ACCESS = False
+
     def __init__(
         self,
         config: ORAMConfig,

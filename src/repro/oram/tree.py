@@ -301,10 +301,41 @@ class ArrayTreeStorage:
         self._occ[self._node_base + (leaf >> self._node_shift)] = 0
         return ids[ids >= 0]
 
+    def read_paths_ids(self, leaves: np.ndarray) -> np.ndarray:
+        """Remove and return every real block id on the paths to ``leaves``.
+
+        One gather/scatter over the union of the paths' slots.  Buckets
+        shared by several paths (the common tree prefix, or duplicate
+        leaves) are read exactly once, at their first occurrence in leaf
+        order — the same ids, in the same order, a sequential loop of
+        :meth:`read_path_ids` over ``leaves`` would produce, because later
+        reads of a shared bucket see it already emptied.
+        """
+        leaves = np.asarray(leaves, dtype=np.int64)
+        slot_idx = (leaves[:, None] >> self._tmpl_shift) * self._tmpl_cap
+        slot_idx += self._tmpl_const
+        flat = slot_idx.ravel()
+        uniq, first = np.unique(flat, return_index=True)
+        ids = np.full(flat.size, -1, dtype=np.int64)
+        ids[first] = self._slots[uniq]
+        self._slots[uniq] = -1
+        nodes = (self._node_base + (leaves[:, None] >> self._node_shift)).ravel()
+        self._occ[nodes] = 0
+        return ids[ids >= 0]
+
     @property
     def level_base(self) -> tuple[int, ...]:
         """Flat-slot start offset of each level's region."""
         return self._level_base
+
+    @property
+    def bucket_occupancies(self) -> np.ndarray:
+        """Per-bucket occupancy counters, breadth-first (no copy).
+
+        Read-only view for write-back planners; mutations must go through
+        the commit methods so slots and counters stay in sync.
+        """
+        return self._occ
 
     def path_bucket_indices(self, leaf: int) -> np.ndarray:
         """Breadth-first bucket indices of the path to ``leaf``, root first."""
@@ -385,6 +416,23 @@ class ArrayTreeStorage:
         self._slots[slot_indices] = values
         self._occ[buckets] = occupancies
 
+    def commit_batch_write(
+        self,
+        slot_indices: Sequence[int],
+        values: np.ndarray,
+        buckets: Sequence[int],
+        occupancies: Sequence[int],
+    ) -> None:
+        """Scatter a write-back planned over the union of several paths.
+
+        Same contract as :meth:`commit_path_write` but ``buckets`` /
+        ``occupancies`` cover only the buckets the batched planner actually
+        touched (they may span many paths), so one batch commits in two
+        scatters regardless of how many paths it wrote.
+        """
+        self._slots[slot_indices] = values
+        self._occ[buckets] = occupancies
+
     def write_level(self, level: int, node: int, block_ids: Sequence[int]) -> None:
         """Append ``block_ids`` to the bucket ``node`` at ``level``."""
         count = len(block_ids)
@@ -412,12 +460,33 @@ class ArrayTreeStorage:
         ids that found no free slot on their path (they belong in the
         stash), in ascending order.  Equivalent to calling
         :meth:`TreeStorage.try_place_on_path` for every id in ascending
-        order, but runs one vectorized pass per level: at each level the
-        surviving blocks are grouped by bucket and the first ``free`` ids
-        (ascending) of each bucket claim its slots.
+        order (see :meth:`bulk_place_ordered`, which this delegates to with
+        ascending-id priority).
         """
         leaves = np.asarray(position_leaves, dtype=np.int64)
-        remaining = np.arange(leaves.size, dtype=np.int64)
+        return self.bulk_place_ordered(
+            np.arange(leaves.size, dtype=np.int64), leaves
+        )
+
+    def bulk_place_ordered(
+        self, block_ids: np.ndarray, leaves: np.ndarray
+    ) -> np.ndarray:
+        """Greedily place ``block_ids`` as deep as possible, in sequence order.
+
+        ``leaves[i]`` is ``block_ids[i]``'s assigned path; earlier sequence
+        positions win contested slots.  Returns the ids that found no free
+        slot on their path, in sequence order.  Equivalent to calling
+        :meth:`try_place_id` for every id in sequence order, but runs one
+        vectorized pass per level: at each level the surviving blocks are
+        grouped by bucket and the first ``free`` (by priority) of each
+        bucket claim its slots — placements at different levels never
+        interact, so processing levels deep-to-root with priority preserved
+        reproduces the scalar loop exactly.
+        """
+        block_ids = np.asarray(block_ids, dtype=np.int64)
+        leaves = np.asarray(leaves, dtype=np.int64)
+        # ``remaining`` holds sequence positions (the priority order).
+        remaining = np.arange(block_ids.size, dtype=np.int64)
         for level in range(self.depth, -1, -1):
             if remaining.size == 0:
                 break
@@ -426,20 +495,22 @@ class ArrayTreeStorage:
             level_occ = self._level_occ(level)
             nodes = leaves[remaining] >> (self.depth - level)
             order = np.argsort(nodes, kind="stable")
-            sorted_ids = remaining[order]
+            sorted_pos = remaining[order]
             sorted_nodes = nodes[order]
             uniq, starts, counts = np.unique(
                 sorted_nodes, return_index=True, return_counts=True
             )
-            rank = np.arange(sorted_ids.size, dtype=np.int64) - np.repeat(
+            rank = np.arange(sorted_pos.size, dtype=np.int64) - np.repeat(
                 starts, counts
             )
             slot = level_occ[sorted_nodes] + rank
             placed = slot < capacity
-            level_ids[sorted_nodes[placed], slot[placed]] = sorted_ids[placed]
+            level_ids[sorted_nodes[placed], slot[placed]] = block_ids[
+                sorted_pos[placed]
+            ]
             level_occ[uniq] = np.minimum(level_occ[uniq] + counts, capacity)
-            remaining = np.sort(sorted_ids[~placed])
-        return remaining
+            remaining = np.sort(sorted_pos[~placed])
+        return block_ids[remaining]
 
     def _level_slots(self, level: int) -> np.ndarray:
         """View of level ``level``'s slots shaped ``(nodes, capacity)``."""
@@ -474,8 +545,14 @@ class ArrayTreeStorage:
                 yield level, node, level_ids[node, : int(level_occ[node])]
 
     def all_block_ids(self) -> np.ndarray:
-        """Every real block id stored in the tree (unordered)."""
-        chunks = [ids for _, _, ids in self.iter_node_ids()]
-        if not chunks:
-            return np.empty(0, dtype=np.int64)
+        """Every real block id, in tree-iteration order (level, node, slot).
+
+        Occupied slots are always the prefix of each bucket, so masking the
+        flat per-level slot arrays yields exactly the order
+        :meth:`iter_node_ids` walks, without the per-bucket Python loop.
+        """
+        chunks = []
+        for level in range(self.depth + 1):
+            flat = self._level_slots(level).ravel()
+            chunks.append(flat[flat >= 0])
         return np.concatenate(chunks)

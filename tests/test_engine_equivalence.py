@@ -53,12 +53,26 @@ def make_trace(workload: str, seed: int) -> np.ndarray:
 
 
 def run_engine(
-    label: str, seed: int, trace: np.ndarray, fast: bool, fat_tree: bool = False
+    label: str,
+    seed: int,
+    trace: np.ndarray,
+    fast: bool,
+    fat_tree: bool = False,
+    batch_size: int | None = None,
+    batched_write_back: bool | None = None,
 ):
     config = ORAMConfig(
         num_blocks=NUM_BLOCKS, block_size_bytes=32, seed=seed, fat_tree=fat_tree
     )
-    engine = build_engine(label, config, fast=fast)
+    engine = build_engine(
+        label,
+        config,
+        fast=fast,
+        batched=batch_size is not None,
+        batch_size=batch_size or 64,
+    )
+    if batched_write_back is not None:
+        engine.batched_write_back = batched_write_back
     if isinstance(engine, LookaheadClientMixin):
         engine.run_trace(trace)
     else:
@@ -141,6 +155,121 @@ class TestCrossFamilyEquivalence:
                 engine.write(block_id, f"payload-{offset}")
             outputs.append(engine.access_many(reads))
         assert outputs[0] == outputs[1]
+
+
+class TestBatchedWriteBackDifferential:
+    """Batched cross-path write-back == sequential per-path write-back.
+
+    The array backend plans multi-path write-backs in one vectorized pass
+    (``plan_batched_write_back``) and commits with one scatter; flipping
+    ``batched_write_back`` off makes the same engine fall back to the
+    per-path loop.  Both modes must be bit-identical — same counters, same
+    position map, same stash rows — on every family, workload and seed.
+    """
+
+    @pytest.mark.parametrize("seed", [11, 29])
+    @pytest.mark.parametrize("workload", ["uniform", "zipf"])
+    @pytest.mark.parametrize("label", FAMILY_LABELS)
+    def test_batched_write_back_bit_identical(self, label, workload, seed):
+        trace = make_trace(workload, seed)
+        batched = run_engine(label, seed, trace, fast=True)
+        sequential = run_engine(
+            label, seed, trace, fast=True, batched_write_back=False
+        )
+        assert batched.statistics == sequential.statistics
+        assert np.array_equal(
+            batched.position_map.as_array(), sequential.position_map.as_array()
+        )
+        assert list(batched.stash.block_ids) == list(sequential.stash.block_ids)
+        assert_engine_consistent(batched)
+        assert_engine_consistent(sequential)
+
+    @pytest.mark.parametrize("seed", [11, 29])
+    def test_batched_write_back_fat_tree(self, seed):
+        # Fat-tree LAORAM: variable per-level capacities stress the planner's
+        # occupancy carry-forward across shared buckets.
+        trace = make_trace("zipf", seed)
+        batched = run_engine("Normal/S4", seed, trace, fast=True, fat_tree=True)
+        sequential = run_engine(
+            "Normal/S4", seed, trace, fast=True, fat_tree=True,
+            batched_write_back=False,
+        )
+        assert batched.statistics == sequential.statistics
+        assert np.array_equal(
+            batched.position_map.as_array(), sequential.position_map.as_array()
+        )
+        assert list(batched.stash.block_ids) == list(sequential.stash.block_ids)
+
+
+class TestBatchedAccessEquivalence:
+    """The chunked batched-access protocol is backend- and mode-consistent."""
+
+    @pytest.mark.parametrize("batch_size", [4, 16, 64])
+    def test_batched_object_vs_array_bit_identical(self, batch_size):
+        # Both storage backends run the same batched control flow, so the
+        # object engine is the reference for the array engine's batched path.
+        trace = make_trace("zipf", 23)
+        reference = run_engine(
+            "PathORAM", 23, trace, fast=False, batch_size=batch_size
+        )
+        fast = run_engine("PathORAM", 23, trace, fast=True, batch_size=batch_size)
+        assert fast.statistics == reference.statistics
+        assert np.array_equal(
+            fast.position_map.as_array(), reference.position_map.as_array()
+        )
+        assert list(fast.stash.block_ids) == list(reference.stash.block_ids)
+        assert_engine_consistent(reference)
+        assert_engine_consistent(fast)
+
+    @pytest.mark.parametrize("batch_size", [4, 64])
+    def test_batched_fat_tree_bit_identical(self, batch_size):
+        trace = make_trace("uniform", 31)
+        reference = run_engine(
+            "PathORAM", 31, trace, fast=False, fat_tree=True, batch_size=batch_size
+        )
+        fast = run_engine(
+            "PathORAM", 31, trace, fast=True, fat_tree=True, batch_size=batch_size
+        )
+        assert fast.statistics == reference.statistics
+        assert np.array_equal(
+            fast.position_map.as_array(), reference.position_map.as_array()
+        )
+        assert list(fast.stash.block_ids) == list(reference.stash.block_ids)
+
+    def test_batched_payloads_round_trip(self):
+        # write_many + access_many through the batched protocol must return
+        # exactly what a per-access engine returns, duplicates included.
+        rng = np.random.default_rng(13)
+        writes = rng.integers(0, NUM_BLOCKS, size=80).tolist()
+        reads = (
+            rng.integers(0, NUM_BLOCKS, size=200).tolist() + writes[:10] + writes[:10]
+        )
+        outputs = []
+        for fast, batch_size in ((False, None), (True, None), (True, 16)):
+            config = ORAMConfig(num_blocks=NUM_BLOCKS, block_size_bytes=32, seed=5)
+            engine = build_engine(
+                "PathORAM",
+                config,
+                fast=fast,
+                batched=batch_size is not None,
+                batch_size=batch_size or 64,
+            )
+            engine.write_many(
+                writes, [f"payload-{i}" for i in range(len(writes))]
+            )
+            outputs.append(engine.access_many(reads))
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_batch_size_one_equals_sequential(self):
+        # batch_size=1 chunks degenerate to single accesses; the protocol
+        # must collapse to the classic per-access loop, snapshot-identically.
+        trace = make_trace("uniform", 7)
+        plain = run_engine("PathORAM", 7, trace, fast=True)
+        one = run_engine("PathORAM", 7, trace, fast=True, batch_size=1)
+        assert plain.statistics == one.statistics
+        assert np.array_equal(
+            plain.position_map.as_array(), one.position_map.as_array()
+        )
 
 
 class TestFastEngineCoverage:
