@@ -70,6 +70,7 @@ class LookaheadClientMixin:
         eviction: Optional[EvictionPolicy] = None,
         rng: Optional[np.random.Generator] = None,
         observer=None,
+        allocator=None,
     ):
         if not isinstance(config, LAORAMConfig):
             raise ConfigurationError(
@@ -82,6 +83,7 @@ class LookaheadClientMixin:
             eviction=eviction,
             rng=rng,
             observer=observer,
+            allocator=allocator,
         )
         self._init_lookahead(config)
 

@@ -1,0 +1,23 @@
+"""Sharded trace execution — planner / executor / runner.
+
+Public surface is re-exported here so ``from repro.experiments.sharded
+import ShardedRunner`` keeps working now that the old module is a package.
+See :mod:`repro.experiments.sharded.runner` for the architecture overview.
+"""
+
+from repro.experiments.sharded.executor import ProcessShardExecutor
+from repro.experiments.sharded.planner import (
+    SHARDABLE_FAMILIES,
+    ShardEngineSpec,
+    ShardPlanner,
+)
+from repro.experiments.sharded.runner import ShardResult, ShardedRunner
+
+__all__ = [
+    "SHARDABLE_FAMILIES",
+    "ProcessShardExecutor",
+    "ShardEngineSpec",
+    "ShardPlanner",
+    "ShardResult",
+    "ShardedRunner",
+]

@@ -1,0 +1,200 @@
+"""Shard planning: geometry, trace routing and picklable engine recipes.
+
+The planner is the pure, process-free half of sharded execution.  It owns
+the round-robin block-id partition (block ``b`` lives in shard
+``b % num_shards`` under local id ``b // num_shards``), routes global traces
+into per-shard local traces, and describes each shard's engine as a
+:class:`ShardEngineSpec` — a frozen, picklable recipe that can be shipped to
+a worker process and built there.  Keeping construction *data* separate from
+construction *code* is what lets the sequential runner and the
+process-parallel executor share one source of truth: both build their
+engines from the same specs, so a fixed seed gives bit-identical engines in
+either mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import LAORAMConfig
+from repro.core.fast_laoram import FastLAORAMClient
+from repro.core.laoram import LAORAMClient
+from repro.exceptions import ConfigurationError
+from repro.oram.array_path_oram import ArrayPathORAM
+from repro.oram.config import ORAMConfig
+from repro.oram.path_oram import PathORAM
+from repro.oram.pr_oram import ArrayPrORAM, PrORAM, SuperblockMode
+from repro.oram.ring_oram import ArrayRingORAM, RingORAM
+from repro.oram.shm import ArrayAllocator
+
+#: Families the runner can shard, mapped to (reference, fast) engine classes.
+SHARDABLE_FAMILIES: dict[str, tuple[type, type]] = {
+    "laoram": (LAORAMClient, FastLAORAMClient),
+    "pathoram": (PathORAM, ArrayPathORAM),
+    "ringoram": (RingORAM, ArrayRingORAM),
+    "proram": (PrORAM, ArrayPrORAM),
+}
+
+
+@dataclass(frozen=True)
+class ShardEngineSpec:
+    """Picklable recipe for one shard's engine.
+
+    Everything needed to construct the engine in *any* process: the family,
+    the shard-local namespace size, the per-shard seed, and the family
+    knobs.  :meth:`build` is the only place in the package that constructs
+    shard engines, so sequential and parallel execution cannot drift apart.
+    """
+
+    family: str
+    num_blocks: int
+    superblock_size: int
+    block_size_bytes: int
+    fat_tree: bool
+    lookahead_accesses: Optional[int]
+    seed: int
+    use_fast_engine: bool
+    proram_mode: SuperblockMode
+
+    def build(self, allocator: Optional[ArrayAllocator] = None):
+        """Construct the engine this spec describes.
+
+        ``allocator`` threads through to the storage layer so a worker can
+        back the engine's arrays with shared-memory segments; ``None`` gives
+        ordinary private arrays.
+        """
+        engine_cls = SHARDABLE_FAMILIES[self.family][1 if self.use_fast_engine else 0]
+        oram_config = ORAMConfig(
+            num_blocks=self.num_blocks,
+            block_size_bytes=self.block_size_bytes,
+            fat_tree=self.fat_tree,
+            seed=self.seed,
+        )
+        if self.family == "laoram":
+            return engine_cls(
+                LAORAMConfig(
+                    oram=oram_config,
+                    superblock_size=self.superblock_size,
+                    lookahead_accesses=self.lookahead_accesses,
+                ),
+                allocator=allocator,
+            )
+        if self.family == "proram":
+            return engine_cls(
+                oram_config,
+                superblock_size=self.superblock_size,
+                mode=self.proram_mode,
+                allocator=allocator,
+            )
+        return engine_cls(oram_config, allocator=allocator)
+
+
+class ShardPlanner:
+    """Round-robin partition of a block namespace into independent shards.
+
+    Round-robin (rather than contiguous ranges) spreads skewed popularity —
+    embedding hot rows cluster by feature, not uniformly — so shards see
+    comparable load under Zipfian traces.
+    """
+
+    def __init__(
+        self,
+        num_blocks: int,
+        num_shards: int,
+        family: str = "laoram",
+        superblock_size: int = 4,
+        block_size_bytes: int = 128,
+        fat_tree: bool = False,
+        lookahead_accesses: Optional[int] = None,
+        seed: int = 0,
+        use_fast_engine: bool = True,
+        proram_mode: SuperblockMode = SuperblockMode.DYNAMIC,
+    ):
+        if num_shards < 1:
+            raise ConfigurationError("num_shards must be >= 1")
+        if num_blocks < 2 * num_shards:
+            raise ConfigurationError(
+                "each shard needs at least 2 blocks; "
+                f"{num_blocks} blocks cannot fill {num_shards} shards"
+            )
+        if family not in SHARDABLE_FAMILIES:
+            raise ConfigurationError(
+                f"unknown shardable family '{family}'; "
+                f"choose from {sorted(SHARDABLE_FAMILIES)}"
+            )
+        self.num_blocks = num_blocks
+        self.num_shards = num_shards
+        self.family = family
+        self.superblock_size = superblock_size
+        self.block_size_bytes = block_size_bytes
+        self.fat_tree = fat_tree
+        self.lookahead_accesses = lookahead_accesses
+        self.seed = seed
+        self.use_fast_engine = use_fast_engine
+        self.proram_mode = proram_mode
+
+    # ------------------------------------------------------------------
+    # Shard geometry
+    # ------------------------------------------------------------------
+    def shard_of(self, block_id: int) -> int:
+        """Shard owning ``block_id``."""
+        return block_id % self.num_shards
+
+    def local_id(self, block_id: int) -> int:
+        """``block_id``'s identifier inside its shard's namespace."""
+        return block_id // self.num_shards
+
+    def shard_num_blocks(self, shard_id: int) -> int:
+        """Number of global block ids routed to ``shard_id``."""
+        return (self.num_blocks - shard_id + self.num_shards - 1) // self.num_shards
+
+    def split_trace(self, addresses: Sequence[int] | np.ndarray) -> list[np.ndarray]:
+        """Route a global trace into per-shard local-id traces, order kept."""
+        addr = np.asarray(addresses, dtype=np.int64)
+        if addr.size and (addr.min() < 0 or addr.max() >= self.num_blocks):
+            raise ConfigurationError("trace address outside the block namespace")
+        shard = addr % self.num_shards
+        local = addr // self.num_shards
+        return [local[shard == s] for s in range(self.num_shards)]
+
+    def split_ids(self, block_ids: Sequence[int]) -> dict[int, list[int]]:
+        """Group global ids by shard as local ids, preserving arrival order.
+
+        Serving-path counterpart of :meth:`split_trace`: returns only the
+        shards that actually appear, as plain lists (cheap for the small
+        batches the asyncio front-end coalesces).
+        """
+        routed: dict[int, list[int]] = {}
+        for block_id in block_ids:
+            if not 0 <= block_id < self.num_blocks:
+                raise ConfigurationError(
+                    f"block id {block_id} outside the block namespace"
+                )
+            routed.setdefault(block_id % self.num_shards, []).append(
+                block_id // self.num_shards
+            )
+        return routed
+
+    # ------------------------------------------------------------------
+    # Engine recipes
+    # ------------------------------------------------------------------
+    def engine_spec(self, shard_id: int) -> ShardEngineSpec:
+        """Picklable construction recipe for ``shard_id``'s engine."""
+        return ShardEngineSpec(
+            family=self.family,
+            num_blocks=self.shard_num_blocks(shard_id),
+            superblock_size=self.superblock_size,
+            block_size_bytes=self.block_size_bytes,
+            fat_tree=self.fat_tree,
+            lookahead_accesses=self.lookahead_accesses,
+            seed=self.seed + shard_id,
+            use_fast_engine=self.use_fast_engine,
+            proram_mode=self.proram_mode,
+        )
+
+    def engine_specs(self) -> list[ShardEngineSpec]:
+        """Recipes for every shard, in shard order."""
+        return [self.engine_spec(s) for s in range(self.num_shards)]

@@ -1,0 +1,294 @@
+"""Sharded trace execution: one ORAM engine per independent block-id shard.
+
+The paper's deployment protects one embedding table with one ORAM client.
+Production recommendation systems shard their tables across trainer hosts,
+and the same idea applies here: block ids are partitioned round-robin into
+``num_shards`` disjoint namespaces, each shard owns an independent (smaller)
+ORAM tree/stash/position map, and a trace is executed by routing every
+access to its shard's engine.  The merged
+:class:`~repro.memory.accounting.TrafficSnapshot` sums the additive traffic
+counters while ``simulated_time_s`` reports the slowest shard (the
+parallel-deployment critical path) alongside the serial sum.
+
+Execution comes in two backends behind one facade:
+
+* **sequential** (``num_workers=None``, the default): every shard engine
+  lives in this process and runs in turn — the pure-Python harness used by
+  experiments and tests;
+* **process-parallel** (``num_workers=N``): shards are owned by ``N``
+  worker processes (shard ``s`` -> worker ``s % N``), each engine's numpy
+  state lives in :mod:`multiprocessing.shared_memory` segments, and the
+  parent snapshots position maps / stash rows zero-copy from the segments.
+  Because shards share no state and each is executed sequentially by
+  exactly one worker, the two backends are **bit-identical** for a fixed
+  seed — same merged snapshot, same per-shard stash occupancies, same
+  position maps — which the test suite asserts family by family.
+
+The package splits along that line: :mod:`.planner` owns geometry and
+picklable engine recipes, :mod:`.executor` owns worker processes and
+shared-memory snapshots, and this module's :class:`ShardedRunner` is the
+facade that routes a trace through either backend and aggregates results.
+Wall-clock speedup from ``num_workers > 1`` tracks physical cores — see
+``docs/parallel_sharding.md`` for measured scaling and for when wall-clock
+diverges from the modeled ``simulated_time_s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.laoram import LookaheadClientMixin
+from repro.exceptions import ConfigurationError
+from repro.memory.accounting import TrafficSnapshot, merge_snapshots
+from repro.oram.pr_oram import SuperblockMode
+from repro.experiments.sharded.executor import ProcessShardExecutor
+from repro.experiments.sharded.planner import SHARDABLE_FAMILIES, ShardPlanner
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Outcome of one shard's execution of its slice of the trace."""
+
+    shard_id: int
+    num_blocks: int
+    num_accesses: int
+    snapshot: TrafficSnapshot
+    simulated_time_s: float
+    stash_occupancy: int
+
+
+class ShardedRunner:
+    """Partition a block namespace round-robin and run one engine per shard.
+
+    Block id ``b`` lives in shard ``b % num_shards`` under the local id
+    ``b // num_shards``.  Round-robin (rather than contiguous ranges)
+    spreads skewed popularity — embedding hot rows cluster by feature, not
+    uniformly — so shards see comparable load under Zipfian traces.
+
+    ``num_workers=None`` runs shards sequentially in this process (engines
+    are exposed on :attr:`engines`); ``num_workers=N`` spawns ``N`` worker
+    processes that own the engines, with results bit-identical to the
+    sequential backend.  Parallel runners hold OS resources (processes,
+    shared-memory segments) — use as a context manager or call
+    :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        num_blocks: int,
+        num_shards: int,
+        family: str = "laoram",
+        superblock_size: int = 4,
+        block_size_bytes: int = 128,
+        fat_tree: bool = False,
+        lookahead_accesses: Optional[int] = None,
+        seed: int = 0,
+        use_fast_engine: bool = True,
+        proram_mode: SuperblockMode = SuperblockMode.DYNAMIC,
+        num_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ):
+        self._planner = ShardPlanner(
+            num_blocks=num_blocks,
+            num_shards=num_shards,
+            family=family,
+            superblock_size=superblock_size,
+            block_size_bytes=block_size_bytes,
+            fat_tree=fat_tree,
+            lookahead_accesses=lookahead_accesses,
+            seed=seed,
+            use_fast_engine=use_fast_engine,
+            proram_mode=proram_mode,
+        )
+        self.num_blocks = num_blocks
+        self.num_shards = num_shards
+        self.family = family
+        self.use_fast_engine = use_fast_engine
+        self.num_workers = num_workers
+        self._results: list[ShardResult] = []
+        self._executor: Optional[ProcessShardExecutor] = None
+        self.engines: list = []
+        if num_workers is None:
+            self.engines = [
+                self._planner.engine_spec(s).build() for s in range(num_shards)
+            ]
+        else:
+            if num_workers < 1:
+                raise ConfigurationError("num_workers must be >= 1")
+            self._executor = ProcessShardExecutor(
+                self._planner, num_workers=num_workers, start_method=start_method
+            )
+            self._executor.start()
+
+    # ------------------------------------------------------------------
+    # Backend plumbing
+    # ------------------------------------------------------------------
+    @property
+    def planner(self) -> ShardPlanner:
+        """The shard geometry / engine-recipe planner."""
+        return self._planner
+
+    @property
+    def executor(self) -> Optional[ProcessShardExecutor]:
+        """The process executor (``None`` in sequential mode)."""
+        return self._executor
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether shards run in worker processes."""
+        return self._executor is not None
+
+    def close(self) -> None:
+        """Release worker processes and shared memory (no-op when sequential)."""
+        if self._executor is not None:
+            self._executor.close()
+
+    def __enter__(self) -> "ShardedRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Shard geometry (delegated to the planner)
+    # ------------------------------------------------------------------
+    def shard_of(self, block_id: int) -> int:
+        """Shard owning ``block_id``."""
+        return self._planner.shard_of(block_id)
+
+    def local_id(self, block_id: int) -> int:
+        """``block_id``'s identifier inside its shard's namespace."""
+        return self._planner.local_id(block_id)
+
+    def shard_num_blocks(self, shard_id: int) -> int:
+        """Number of global block ids routed to ``shard_id``."""
+        return self._planner.shard_num_blocks(shard_id)
+
+    def split_trace(self, addresses: Sequence[int] | np.ndarray) -> list[np.ndarray]:
+        """Route a global trace into per-shard local-id traces, order kept."""
+        return self._planner.split_trace(addresses)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_trace(
+        self,
+        addresses: Sequence[int] | np.ndarray,
+        reinitialize_placement: bool = True,
+    ) -> TrafficSnapshot:
+        """Execute the trace across every shard and return the merged snapshot.
+
+        Shards share no state, so the run models ``num_shards`` hosts
+        working concurrently whichever backend executes it.  LAORAM shards
+        consume their slice through the lookahead pipeline
+        (``reinitialize_placement`` applies to the first window); every
+        other family performs one oblivious access per trace element.
+        """
+        local_traces = self.split_trace(addresses)
+        if self._executor is not None:
+            states = self._executor.run_local_traces(
+                local_traces, reinitialize_placement=reinitialize_placement
+            )
+            self._results = [
+                ShardResult(
+                    shard_id=shard_id,
+                    num_blocks=states[shard_id]["num_blocks"],
+                    num_accesses=int(local_traces[shard_id].size),
+                    snapshot=states[shard_id]["snapshot"],
+                    simulated_time_s=states[shard_id]["simulated_time_s"],
+                    stash_occupancy=states[shard_id]["stash_occupancy"],
+                )
+                for shard_id in range(self.num_shards)
+            ]
+            return self.merged_snapshot()
+        self._results = []
+        for shard_id, local_trace in enumerate(local_traces):
+            engine = self.engines[shard_id]
+            if local_trace.size:
+                if isinstance(engine, LookaheadClientMixin):
+                    engine.run_trace(
+                        local_trace, reinitialize_placement=reinitialize_placement
+                    )
+                else:
+                    engine.access_many(local_trace)
+            self._results.append(
+                ShardResult(
+                    shard_id=shard_id,
+                    num_blocks=engine.num_blocks,
+                    num_accesses=int(local_trace.size),
+                    snapshot=engine.statistics,
+                    simulated_time_s=engine.simulated_time_s,
+                    stash_occupancy=engine.stash_occupancy,
+                )
+            )
+        return self.merged_snapshot()
+
+    # ------------------------------------------------------------------
+    # Aggregation / diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def results(self) -> list[ShardResult]:
+        """Per-shard results of the last :meth:`run_trace` call."""
+        return list(self._results)
+
+    def _shard_states(self) -> list[dict]:
+        """Current per-shard state dicts from the parallel executor."""
+        assert self._executor is not None
+        states = self._executor.states
+        return [states[s] for s in range(self.num_shards)]
+
+    def merged_snapshot(self) -> TrafficSnapshot:
+        """Additive counters summed across shards (peak stash is the max)."""
+        if self._executor is not None:
+            return merge_snapshots(s["snapshot"] for s in self._shard_states())
+        return merge_snapshots(engine.statistics for engine in self.engines)
+
+    @property
+    def simulated_time_parallel_s(self) -> float:
+        """Modeled wall-clock when every shard runs on its own host."""
+        if self._executor is not None:
+            return max(s["simulated_time_s"] for s in self._shard_states())
+        return max(engine.simulated_time_s for engine in self.engines)
+
+    @property
+    def simulated_time_serial_s(self) -> float:
+        """Modeled wall-clock when one host serves every shard in turn."""
+        if self._executor is not None:
+            return sum(s["simulated_time_s"] for s in self._shard_states())
+        return sum(engine.simulated_time_s for engine in self.engines)
+
+    @property
+    def server_memory_bytes(self) -> int:
+        """Total tree footprint across shards."""
+        if self._executor is not None:
+            return sum(s["server_memory_bytes"] for s in self._shard_states())
+        return sum(engine.server_memory_bytes for engine in self.engines)
+
+    def total_real_blocks(self) -> int:
+        """Blocks held across every shard's tree and stash (invariant check)."""
+        if self._executor is not None:
+            return sum(s["total_real_blocks"] for s in self._shard_states())
+        return sum(engine.total_real_blocks() for engine in self.engines)
+
+    def stash_occupancies(self) -> list[int]:
+        """Current stash occupancy of every shard, in shard order."""
+        if self._executor is not None:
+            return [s["stash_occupancy"] for s in self._shard_states()]
+        return [engine.stash_occupancy for engine in self.engines]
+
+    def position_maps(self) -> list[np.ndarray]:
+        """Copy of every shard's position map, in shard order.
+
+        Sequential mode copies from the in-process engines; parallel mode
+        memcpys the live arrays straight out of the workers' shared-memory
+        segments (workers must still be running — call before
+        :meth:`close`).
+        """
+        if self._executor is not None:
+            return [
+                self._executor.position_map(s) for s in range(self.num_shards)
+            ]
+        return [engine.position_map.as_array() for engine in self.engines]

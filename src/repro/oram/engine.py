@@ -37,6 +37,7 @@ from repro.oram.base import AccessOp, ObliviousMemory
 from repro.oram.config import ORAMConfig
 from repro.oram.eviction import EvictionPolicy
 from repro.oram.position_map import PositionMap
+from repro.oram.shm import ArrayAllocator
 from repro.oram.stash import ArrayStash, Stash
 from repro.oram.tree import ArrayTreeStorage, TreeStorage
 from repro.oram.write_back import plan_batched_write_back, plan_greedy_write_back
@@ -75,6 +76,7 @@ class TreeORAMEngine(ObliviousMemory):
         rng: Optional[np.random.Generator] = None,
         observer=None,
         batch_size: Optional[int] = None,
+        allocator: Optional[ArrayAllocator] = None,
     ):
         if batch_size is not None and batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1 when set")
@@ -89,12 +91,17 @@ class TreeORAMEngine(ObliviousMemory):
         )
         self.observer = observer
         self.batch_size = batch_size
+        # Array allocation hook: a shared-memory pool here puts the tree
+        # slots, stash rows and position map into attachable segments so a
+        # parent process can snapshot shard state without serialization.
+        self.allocator = allocator
         self.tree = self._make_tree()
         self.stash = self._make_stash()
         self.position_map = PositionMap(
             num_blocks=config.num_blocks,
             num_leaves=config.num_leaves,
             rng=self.rng,
+            allocator=allocator,
         )
         self._stash_hits = 0
         # Hot-path caches: ``ORAMConfig.depth``/``num_leaves`` are derived
@@ -566,6 +573,7 @@ class ArrayStorageEngine(TreeORAMEngine):
             bucket_capacities=self.config.bucket_capacities(),
             block_size_bytes=self.config.block_size_bytes,
             metadata_bytes_per_block=self.config.metadata_bytes_per_block,
+            allocator=self.allocator,
         )
 
     def _make_stash(self) -> ArrayStash:
@@ -573,6 +581,7 @@ class ArrayStorageEngine(TreeORAMEngine):
             num_blocks=self.config.num_blocks,
             num_leaves=self.config.num_leaves,
             capacity=self.config.stash_capacity,
+            allocator=self.allocator,
         )
 
     def _bulk_load(self) -> None:
@@ -671,15 +680,28 @@ class ArrayStorageEngine(TreeORAMEngine):
     #: benchmark's per-path mode flip it off per instance.
     batched_write_back = True
 
+    #: Path count below which :meth:`_write_back_many` takes the per-path
+    #: loop even with ``batched_write_back`` on.  The batched planner's
+    #: fixed setup (a (k, tail) xor/frexp/argsort pass plus the per-path
+    #: gather matrices) only amortizes across enough paths: measured on
+    #: LAORAM superblock bins at 2^18 (30k-access Zipf trace), per-path wins
+    #: ~4% at k=2, breaks even at k=3, and the planner wins from k=4 up
+    #: (~11% at k=4, ~20% by k=6) — so k<4 falls back.  LAORAM bins with
+    #: lookahead placement read 0-1 paths and never reach the planner;
+    #: PathORAM's 64-access batches read ~40+ paths and always do.
+    BATCHED_WB_MIN_PATHS = 4
+
     def _write_back_many(self, leaves: Sequence[int]) -> None:
         """Write back a batch of paths via the cross-path batched planner.
 
-        Single-leaf batches (the overwhelmingly common case for the
+        Small batches (below :data:`BATCHED_WB_MIN_PATHS` — including the
+        single-leaf case, the overwhelmingly common one for the
         single-access protocols) keep the tuned per-path planner; larger
         batches plan the union of paths in one vectorized pass and commit
-        with one scatter into the tree.
+        with one scatter into the tree.  Both routes commit bit-identical
+        placements, so the threshold is purely a throughput choice.
         """
-        if len(leaves) < 2 or not self.batched_write_back:
+        if len(leaves) < self.BATCHED_WB_MIN_PATHS or not self.batched_write_back:
             for leaf in leaves:
                 self._write_back(leaf)
             return

@@ -63,6 +63,7 @@ class RingProtocolMixin:
         counter: Optional[TrafficCounter] = None,
         rng: Optional[np.random.Generator] = None,
         observer=None,
+        allocator=None,
     ):
         if dummies_per_bucket < 1:
             raise ConfigurationError("dummies_per_bucket must be >= 1")
@@ -71,7 +72,12 @@ class RingProtocolMixin:
         self.dummies_per_bucket = dummies_per_bucket
         self.evict_rate = evict_rate
         super().__init__(
-            config, timing=timing, counter=counter, rng=rng, observer=observer
+            config,
+            timing=timing,
+            counter=counter,
+            rng=rng,
+            observer=observer,
+            allocator=allocator,
         )
         # Number of single-block reads a bucket has served since its last
         # reshuffle; once it reaches ``dummies_per_bucket`` the bucket must be

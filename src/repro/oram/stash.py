@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.exceptions import StashOverflowError
 from repro.memory.block import Block
+from repro.oram.shm import DEFAULT_ALLOCATOR, ArrayAllocator
 
 
 class Stash:
@@ -115,6 +116,7 @@ class ArrayStash:
         num_leaves: int,
         capacity: Optional[int] = None,
         initial_rows: int = 256,
+        allocator: Optional[ArrayAllocator] = None,
     ):
         if num_blocks < 1:
             raise ValueError("num_blocks must be >= 1")
@@ -124,8 +126,11 @@ class ArrayStash:
             raise ValueError("stash capacity must be >= 1 when set")
         self._capacity = capacity
         self._hole_leaf = 2 * num_leaves
-        self._ids = np.full(initial_rows, -1, dtype=np.int64)
-        self._leaves = np.full(initial_rows, self._hole_leaf, dtype=np.int64)
+        self._allocator = allocator if allocator is not None else DEFAULT_ALLOCATOR
+        self._ids = self._allocator.full("stash.ids", initial_rows, -1, np.int64)
+        self._leaves = self._allocator.full(
+            "stash.leaves", initial_rows, self._hole_leaf, np.int64
+        )
         self._row_of = np.full(num_blocks, -1, dtype=np.int64)
         # Row numbers 0..size-1, sliced on every append instead of allocating
         # a fresh arange; regenerated only when the row arrays grow.
@@ -217,8 +222,10 @@ class ArrayStash:
         while size < 2 * (n + count):
             size *= 2
         if size != self._ids.size:
-            self._ids = np.full(size, -1, dtype=np.int64)
-            self._leaves = np.full(size, self._hole_leaf, dtype=np.int64)
+            self._ids = self._allocator.full("stash.ids", size, -1, np.int64)
+            self._leaves = self._allocator.full(
+                "stash.leaves", size, self._hole_leaf, np.int64
+            )
             self._rows = np.arange(size, dtype=np.int64)
         else:
             # Rows behind the new tail keep stale ids/leaves; mark them as

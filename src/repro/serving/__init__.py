@@ -1,0 +1,20 @@
+"""Online serving front-end for sharded oblivious lookups.
+
+:mod:`repro.serving.service` — the coalescing asyncio service;
+:mod:`repro.serving.workload` — bursty / open-loop Zipf request drivers.
+"""
+
+from repro.serving.service import (
+    AsyncShardedService,
+    LatencyStats,
+    summarize_latencies,
+)
+from repro.serving.workload import WorkloadReport, run_zipf_workload
+
+__all__ = [
+    "AsyncShardedService",
+    "LatencyStats",
+    "WorkloadReport",
+    "run_zipf_workload",
+    "summarize_latencies",
+]

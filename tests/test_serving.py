@@ -1,0 +1,156 @@
+"""Asyncio serving front-end: coalescing, accounting, failure propagation."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.sharded import ShardedRunner
+from repro.serving import (
+    AsyncShardedService,
+    run_zipf_workload,
+    summarize_latencies,
+)
+
+NUM_BLOCKS = 1 << 10
+NUM_SHARDS = 3
+
+
+def _runner(num_workers=None):
+    kwargs = {} if num_workers is None else {"num_workers": num_workers}
+    return ShardedRunner(NUM_BLOCKS, NUM_SHARDS, family="laoram", seed=0, **kwargs)
+
+
+@pytest.mark.parametrize("num_workers", [None, 2])
+def test_submit_serves_every_id(num_workers):
+    async def main():
+        with _runner(num_workers) as runner:
+            async with AsyncShardedService(runner) as service:
+                latencies = await asyncio.gather(
+                    *(service.submit([i, i + 7, i + 21]) for i in range(20))
+                )
+            if runner.is_parallel:
+                runner.executor.refresh_states()
+            merged = runner.merged_snapshot()
+        assert len(latencies) == 20
+        assert all(lat >= 0.0 for lat in latencies)
+        assert merged.logical_accesses == 20 * 3
+        stats = service.latency_summary()
+        assert stats.count == 20
+        assert stats.p50_ms <= stats.p95_ms <= stats.p99_ms <= stats.max_ms
+
+    asyncio.run(main())
+
+
+def test_concurrent_requests_coalesce_into_batches():
+    async def main():
+        with _runner() as runner:
+            async with AsyncShardedService(runner) as service:
+                await service.start()
+                # All submissions are queued before any dispatcher wakes, so
+                # each shard's dispatcher sees them together and must serve
+                # them as one coalesced batch.
+                await asyncio.gather(
+                    *(service.submit([i]) for i in range(0, 30))
+                )
+            stats = service.latency_summary()
+            # 30 single-id requests over 3 shards: far fewer dispatches than
+            # requests proves coalescing (one batch per shard, not per request).
+            assert len(service._batch_sizes) <= 2 * NUM_SHARDS
+            assert stats.mean_batch_size > 1.0
+
+    asyncio.run(main())
+
+
+def test_batch_cap_limits_coalescing():
+    async def main():
+        with _runner() as runner:
+            async with AsyncShardedService(runner, max_batch_ids=2) as service:
+                await service.start()
+                await asyncio.gather(*(service.submit([3, 6, 9]) for _ in range(8)))
+            assert max(service._batch_sizes) <= 2 + 3  # cap + one entry overshoot
+
+    asyncio.run(main())
+
+
+def test_out_of_range_id_rejected():
+    async def main():
+        with _runner() as runner:
+            async with AsyncShardedService(runner) as service:
+                with pytest.raises(ConfigurationError):
+                    await service.submit([NUM_BLOCKS + 5])
+
+    asyncio.run(main())
+
+
+def test_backend_failure_propagates_to_submitters():
+    async def main():
+        with _runner() as runner:
+            def explode(ids):
+                raise RuntimeError("backend down")
+
+            for engine in runner.engines:
+                engine.access_many = explode
+            async with AsyncShardedService(runner) as service:
+                with pytest.raises(RuntimeError, match="backend down"):
+                    await service.submit([1, 2, 3])
+                # The failure is sticky: later submissions fail fast.
+                with pytest.raises(RuntimeError, match="backend down"):
+                    await service.submit([4])
+
+    asyncio.run(main())
+
+
+@pytest.mark.parametrize("arrival", ["bursty", "open"])
+def test_zipf_workload_reports(arrival):
+    async def main():
+        with _runner() as runner:
+            async with AsyncShardedService(runner) as service:
+                report = await run_zipf_workload(
+                    service,
+                    num_requests=40,
+                    request_size=4,
+                    arrival=arrival,
+                    burst_size=8,
+                    rate_rps=4000.0,
+                    seed=5,
+                )
+            merged = runner.merged_snapshot()
+        assert report.arrival == arrival
+        assert report.num_requests == 40
+        assert report.latency.count == 40
+        assert report.throughput_rps > 0
+        assert merged.logical_accesses == 40 * 4
+
+    asyncio.run(main())
+
+
+def test_workload_is_deterministic_in_ids():
+    """Same seed -> same Zipf ids -> same oblivious access totals."""
+
+    async def run_once():
+        with _runner() as runner:
+            async with AsyncShardedService(runner) as service:
+                await run_zipf_workload(
+                    service,
+                    num_requests=25,
+                    request_size=4,
+                    arrival="open",
+                    rate_rps=5000.0,
+                    seed=3,
+                )
+            return runner.merged_snapshot().logical_accesses
+
+    assert asyncio.run(run_once()) == asyncio.run(run_once())
+
+
+def test_latency_summary_empty_and_basic():
+    empty = summarize_latencies([])
+    assert empty.count == 0 and empty.p99_ms == 0.0
+    stats = summarize_latencies([0.001, 0.002, 0.010], [2, 4])
+    assert stats.count == 3
+    assert stats.p50_ms == pytest.approx(2.0)
+    assert stats.max_ms == pytest.approx(10.0)
+    assert stats.mean_batch_size == pytest.approx(3.0)
