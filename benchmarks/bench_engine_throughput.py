@@ -61,8 +61,12 @@ import dataclasses
 import gc
 import json
 import os
+import platform
+import subprocess
 import sys
 import time
+
+import numpy as np
 
 from repro.core.laoram import LookaheadClientMixin
 from repro.datasets.zipf import ZipfTraceGenerator
@@ -72,16 +76,17 @@ from repro.oram.config import ORAMConfig
 from repro.serving import AsyncShardedService, run_zipf_workload
 
 #: family -> (configuration label, required fast/seed speedup in ratio mode).
-#: Measured locally at the 2^17 ratio default: laoram ~3x (6-12x at 2^20),
-#: ringoram ~1.6x, pathoram ~1.2x, proram ~1.3-2x.  The single-access
-#: protocols' ratios swing with allocator/GC state on shared runners, so
-#: their gates are non-regression bounds (1.0) and the hard perf gates are
-#: laoram's ratio plus the absolute-rate mode; equivalence is always gated.
+#: Measured locally at the 2^17 ratio default with the fused trace drivers:
+#: pathoram ~2.3-3.3x, ringoram ~2.4-4x, proram ~2-4.7x, laoram ~3x
+#: (6-12x at 2^20).  The gates lock in the fused-hot-path speedups with
+#: margin for allocator/GC noise on shared runners (run ratio mode with
+#: ``--trials 2`` so best-of-2 filters the noise, as CI does); equivalence
+#: is always gated.
 FAMILY_GATES: dict[str, tuple[str, float]] = {
-    "pathoram": ("PathORAM", 1.0),
+    "pathoram": ("PathORAM", 2.0),
     "laoram": ("Normal/S4", 2.0),
-    "ringoram": ("RingORAM", 1.0),
-    "proram": ("PrORAM-dynamic/S2", 1.0),
+    "ringoram": ("RingORAM", 2.5),
+    "proram": ("PrORAM-dynamic/S2", 2.0),
 }
 
 
@@ -106,13 +111,120 @@ def run_engine(
     start = time.perf_counter()
     if isinstance(engine, LookaheadClientMixin):
         engine.run_trace(addresses)
-    else:
+    elif engine.batch_size:
         engine.access_many(addresses)
+    else:
+        engine.run_trace(addresses)
     elapsed = time.perf_counter() - start
     assert engine.total_real_blocks() == oram_config.num_blocks, (
         "block conservation violated"
     )
     return elapsed, engine.statistics
+
+
+#: profile-mode phase -> engine/counter attributes wrapped with a timer.
+#: Each name is wrapped where it exists; outermost-call accounting keeps a
+#: phase from double-counting when one wrapped hook calls another (e.g.
+#: ``_write_back`` -> ``_commit_write_back``).
+PROFILE_PHASES: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("posmap_lookup", ("position_map.get",)),
+    (
+        "path_read",
+        ("_read_path_into_stash", "_online_read", "_read_paths_into_stash"),
+    ),
+    ("serve_remap", ("_serve", "_update_leaf")),
+    ("write_back", ("_write_back", "_commit_write_back", "_write_back_many")),
+    (
+        "counters",
+        (
+            "counter.record_logical_access",
+            "counter.record_path_read",
+            "counter.record_path_write",
+            "counter.record_dummy_read",
+            "counter.observe_stash",
+            "timing.charge_path_transfer",
+            "timing.charge_client_overhead",
+        ),
+    ),
+)
+
+
+def _instrument_phases(engine) -> dict[str, float]:
+    """Wrap the engine's per-access protocol hooks with phase timers.
+
+    Returns the live ``phase -> seconds`` dict; wrappers accumulate into it
+    as the engine runs.  Only the outermost wrapped call of a phase is
+    counted, so nested hooks of the same phase don't double-bill.
+    """
+    phases: dict[str, float] = {}
+    for phase, names in PROFILE_PHASES:
+        phases[phase] = 0.0
+        depth = [0]
+        for name in names:
+            owner = engine
+            attr = name
+            if "." in name:
+                prefix, attr = name.split(".", 1)
+                owner = getattr(engine, prefix, None)
+            func = getattr(owner, attr, None)
+            if func is None:
+                continue
+
+            def wrapper(*a, _func=func, _phase=phase, _depth=depth, **k):
+                if _depth[0]:
+                    return _func(*a, **k)
+                _depth[0] = 1
+                t0 = time.perf_counter()
+                try:
+                    return _func(*a, **k)
+                finally:
+                    phases[_phase] += time.perf_counter() - t0
+                    _depth[0] = 0
+
+            setattr(owner, attr, wrapper)
+    return phases
+
+
+def bench_profile(family, label, oram_config, trace, args):
+    """Per-phase wall-time breakdown of one family's per-access protocol.
+
+    The fast engine runs the trace through its *per-access* loop with the
+    protocol hooks wrapped in timers — the fused driver inlines these
+    phases, so the breakdown shows where a non-fused access spends its
+    time.  The fused ``run_trace`` rate over the same trace is measured
+    unwrapped for contrast.  Never gates: the entry is diagnostic.
+    """
+    gc.collect()
+    engine = build_engine(label, oram_config, fast=True)
+    addresses = trace.addresses
+    phases = _instrument_phases(engine)
+    start = time.perf_counter()
+    if isinstance(engine, LookaheadClientMixin):
+        engine.run_trace(addresses)
+    else:
+        for block_id in addresses.tolist():
+            engine.access(block_id)
+    total = time.perf_counter() - start
+    fused_s, _snapshot = run_engine(label, oram_config, addresses, fast=True)
+    accounted = sum(phases.values())
+    num_accesses = len(addresses)
+    print(f"[{family:9s}] per-access {total:7.2f}s "
+          f"({num_accesses / total:9.0f} acc/s) | "
+          f"fused {fused_s:6.2f}s ({num_accesses / fused_s:9.0f} acc/s)")
+    for phase, seconds in phases.items():
+        print(f"    {phase:14s} {seconds:7.2f}s  {100 * seconds / total:5.1f}%")
+    print(f"    {'other':14s} {total - accounted:7.2f}s  "
+          f"{100 * (total - accounted) / total:5.1f}%")
+    return {
+        "family": family,
+        "mode": "profile",
+        "total_s": total,
+        "per_access_rate": num_accesses / total,
+        "fused_rate": num_accesses / fused_s,
+        "phases_s": {phase: seconds for phase, seconds in phases.items()},
+        "other_s": total - accounted,
+        "passed": True,
+    }
 
 
 def bench_batched(family, label, oram_config, trace, args):
@@ -388,6 +500,25 @@ def bench_parallel(family, trace, args):
     }
 
 
+def _provenance() -> dict:
+    """Commit/toolchain stamp so trajectory entries are attributable."""
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        commit = None
+    return {
+        "git_commit": commit,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -397,13 +528,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--mode",
-        choices=("ratio", "absolute", "batched", "parallel"),
+        choices=("ratio", "absolute", "batched", "parallel", "profile"),
         default="ratio",
         help="ratio: reference-vs-fast speedup gate; absolute: fast engines "
         "only, gated on accesses/second; batched: batched-access protocol "
         "vs per-access, plus batched-vs-sequential write-back equivalence; "
         "parallel: wall-clock scaling of the process-parallel ShardedRunner "
-        "plus serving latency percentiles",
+        "plus serving latency percentiles; profile: ungated per-phase "
+        "wall-time breakdown of the per-access protocol vs the fused rate",
     )
     parser.add_argument(
         "--families",
@@ -577,6 +709,10 @@ def main(argv=None) -> int:
                 failed = failed or not entry["passed"]
             continue
 
+        if args.mode == "profile" and not args.smoke:
+            results.append(bench_profile(family, label, oram_config, trace, args))
+            continue
+
         fast_s, fast_snapshot = min(
             (run_engine(label, oram_config, trace.addresses, fast=True)
              for _ in range(max(1, args.trials))),
@@ -653,6 +789,7 @@ def main(argv=None) -> int:
             "zipf_exponent": args.exponent,
             "batch_size": args.batch_size if args.mode == "batched" else None,
             "host_cpus": os.cpu_count() or 1,
+            "provenance": _provenance(),
             "results": results,
             "all_passed": not failed,
         }

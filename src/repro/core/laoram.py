@@ -62,6 +62,11 @@ class LookaheadClientMixin:
     #: ``_write_back_many``).
     SUPPORTS_BATCHED_ACCESS = False
 
+    #: Scalar leaf draws: the preprocessor and the bin-path draws pull from
+    #: the same generator as ``_draw_leaf``, so prefetching leaf draws in
+    #: blocks would reorder the stream relative to the reference client.
+    LEAF_DRAW_BLOCK = 0
+
     def __init__(
         self,
         config: LAORAMConfig,

@@ -24,15 +24,18 @@ def run_engine_on_trace(
 
     LAORAM clients (both the per-object and the array-backed engine) consume
     the trace through their lookahead pipeline (preprocessing plus
-    superblock-granularity accesses); every other engine performs one
-    oblivious access per trace element.
+    superblock-granularity accesses); engines configured with a batch size
+    go through the chunked batched protocol; every other tree engine runs
+    the whole trace through its fused ``run_trace`` driver.
     """
     if record_stash_history and hasattr(engine, "counter"):
         engine.counter.record_stash_history = True
     if isinstance(engine, LookaheadClientMixin):
         engine.run_trace(trace.addresses)
-    else:
+    elif getattr(engine, "batch_size", None) or not hasattr(engine, "run_trace"):
         engine.access_many(trace.addresses)
+    else:
+        engine.run_trace(trace.addresses)
     snapshot = engine.statistics
     history: tuple[int, ...] = ()
     if record_stash_history and hasattr(engine, "counter"):

@@ -212,8 +212,10 @@ class ShardedRunner:
                     engine.run_trace(
                         local_trace, reinitialize_placement=reinitialize_placement
                     )
-                else:
+                elif engine.batch_size:
                     engine.access_many(local_trace)
+                else:
+                    engine.run_trace(local_trace)
             self._results.append(
                 ShardResult(
                     shard_id=shard_id,

@@ -73,7 +73,16 @@ def merge_snapshots(snapshots: "Iterable[TrafficSnapshot]") -> TrafficSnapshot:
 
 @dataclass
 class TrafficCounter:
-    """Mutable accumulator of ORAM traffic statistics."""
+    """Mutable accumulator of ORAM traffic statistics.
+
+    With ``deferred=True`` the per-event ``record_*`` methods accumulate
+    into a plain-int pending buffer instead of the dataclass fields, and the
+    buffer is folded in by :meth:`flush` (called automatically by
+    :meth:`snapshot`).  Integer addition is exact under any grouping, so the
+    flushed totals are bit-identical to live recording; the toggle exists so
+    the reference engines can exercise — and the tests can assert — the same
+    aggregation discipline the fused array drivers use internally.
+    """
 
     logical_accesses: int = 0
     path_reads: int = 0
@@ -87,13 +96,29 @@ class TrafficCounter:
     background_evictions: int = 0
     stash_history: list[int] = field(default_factory=list)
     record_stash_history: bool = False
+    deferred: bool = False
+    # Pending [logical, path_reads, path_writes, dummy_reads, buckets_read,
+    # buckets_written, bytes_read, bytes_written, stash_peak(max),
+    # background_evictions]; only used when ``deferred`` is set.
+    _pending: list[int] = field(
+        default_factory=lambda: [0] * 10, init=False, repr=False, compare=False
+    )
 
     def record_logical_access(self, count: int = 1) -> None:
         """Register ``count`` logical (application-level) block accesses."""
-        self.logical_accesses += count
+        if self.deferred:
+            self._pending[0] += count
+        else:
+            self.logical_accesses += count
 
     def record_path_read(self, num_buckets: int, num_bytes: int, dummy: bool = False) -> None:
         """Register one path read of ``num_buckets`` buckets / ``num_bytes`` bytes."""
+        if self.deferred:
+            pending = self._pending
+            pending[3 if dummy else 1] += 1
+            pending[4] += num_buckets
+            pending[6] += num_bytes
+            return
         if dummy:
             self.dummy_reads += 1
         else:
@@ -103,23 +128,80 @@ class TrafficCounter:
 
     def record_path_write(self, num_buckets: int, num_bytes: int) -> None:
         """Register one path write-back."""
+        if self.deferred:
+            pending = self._pending
+            pending[2] += 1
+            pending[5] += num_buckets
+            pending[7] += num_bytes
+            return
         self.path_writes += 1
         self.buckets_written += num_buckets
         self.bytes_written += num_bytes
 
     def record_background_eviction(self) -> None:
         """Register one background-eviction episode (may contain many dummy reads)."""
-        self.background_evictions += 1
+        if self.deferred:
+            self._pending[9] += 1
+        else:
+            self.background_evictions += 1
 
     def observe_stash(self, occupancy: int) -> None:
         """Track stash occupancy, updating the running peak and optional history."""
-        if occupancy > self.stash_peak:
+        if self.deferred:
+            if occupancy > self._pending[8]:
+                self._pending[8] = occupancy
+        elif occupancy > self.stash_peak:
             self.stash_peak = occupancy
+        # History keeps the per-event order, so it is never deferred.
         if self.record_stash_history:
             self.stash_history.append(occupancy)
 
+    def add_bulk(
+        self,
+        logical_accesses: int = 0,
+        path_reads: int = 0,
+        path_writes: int = 0,
+        dummy_reads: int = 0,
+        buckets_read: int = 0,
+        buckets_written: int = 0,
+        bytes_read: int = 0,
+        bytes_written: int = 0,
+        stash_peak: int = 0,
+        background_evictions: int = 0,
+    ) -> None:
+        """Fold a batch of pre-aggregated counts in (fused trace drivers).
+
+        Additive counters sum; ``stash_peak`` max-merges.  The driver
+        accumulated these in plain Python ints, so the result is
+        bit-identical to having recorded every event live.
+        """
+        self.logical_accesses += logical_accesses
+        self.path_reads += path_reads
+        self.path_writes += path_writes
+        self.dummy_reads += dummy_reads
+        self.buckets_read += buckets_read
+        self.buckets_written += buckets_written
+        self.bytes_read += bytes_read
+        self.bytes_written += bytes_written
+        if stash_peak > self.stash_peak:
+            self.stash_peak = stash_peak
+        self.background_evictions += background_evictions
+
+    def flush(self) -> None:
+        """Fold any deferred pending counts into the dataclass fields."""
+        pending = self._pending
+        if not any(pending):
+            return
+        self.add_bulk(*pending[:8])
+        if pending[8] > self.stash_peak:
+            self.stash_peak = pending[8]
+        self.background_evictions += pending[9]
+        self._pending = [0] * 10
+
     def snapshot(self) -> TrafficSnapshot:
         """Return an immutable snapshot of the current counters."""
+        if self.deferred:
+            self.flush()
         return TrafficSnapshot(
             logical_accesses=self.logical_accesses,
             path_reads=self.path_reads,
@@ -146,3 +228,4 @@ class TrafficCounter:
         self.stash_peak = 0
         self.background_evictions = 0
         self.stash_history.clear()
+        self._pending = [0] * 10

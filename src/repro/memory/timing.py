@@ -44,12 +44,23 @@ class TimingModel:
         Path geometry is fixed per tree, so the per-path delta is memoised;
         millions of identical charges cost one dict lookup each.
         """
+        delta = self.path_transfer_delta(num_buckets, num_bytes)
+        self._elapsed_s += delta
+        return delta
+
+    def path_transfer_delta(self, num_buckets: int, num_bytes: int) -> float:
+        """The memoised per-path charge, without charging it.
+
+        Fused trace drivers accumulate elapsed time in a local float (one
+        ``+=`` per charge, in the exact order the per-access loop would have
+        issued them, so the float total is bit-identical) and install the
+        result with :meth:`set_elapsed` when the trace completes.
+        """
         delta = self._transfer_cache.get((num_buckets, num_bytes))
         if delta is None:
             delta = self.dram.access_time_s(num_buckets, num_bytes)
             delta += self.interconnect.transfer_time_s(1, num_bytes)
             self._transfer_cache[(num_buckets, num_bytes)] = delta
-        self._elapsed_s += delta
         return delta
 
     def charge_client_overhead(self, num_accesses: int = 1) -> float:
@@ -69,6 +80,17 @@ class TimingModel:
     def elapsed_s(self) -> float:
         """Total simulated time accumulated so far, in seconds."""
         return self._elapsed_s
+
+    def set_elapsed(self, seconds: float) -> None:
+        """Install an externally accumulated elapsed total.
+
+        Used by the fused trace drivers for deferred timing aggregation:
+        the driver seeds a local float from :attr:`elapsed_s`, accumulates
+        per-charge deltas in the identical order the per-access loop would
+        have, and writes the final value back here — one attribute write per
+        trace instead of one per charge, with a bit-identical float result.
+        """
+        self._elapsed_s = seconds
 
     def reset(self) -> None:
         """Zero the accumulated time (used between experiment phases)."""

@@ -29,7 +29,11 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.exceptions import BlockNotFoundError, ConfigurationError
+from repro.exceptions import (
+    BlockNotFoundError,
+    ConfigurationError,
+    StashOverflowError,
+)
 from repro.memory.accounting import TrafficCounter, TrafficSnapshot
 from repro.memory.block import Block
 from repro.memory.timing import TimingModel
@@ -40,7 +44,11 @@ from repro.oram.position_map import PositionMap
 from repro.oram.shm import ArrayAllocator
 from repro.oram.stash import ArrayStash, Stash
 from repro.oram.tree import ArrayTreeStorage, TreeStorage
-from repro.oram.write_back import plan_batched_write_back, plan_greedy_write_back
+from repro.oram.write_back import (
+    fused_greedy_write_back,
+    plan_batched_write_back,
+    plan_greedy_write_back,
+)
 from repro.utils.rng import make_rng
 
 
@@ -66,6 +74,15 @@ class TreeORAMEngine(ObliviousMemory):
     #: is valid for this engine.  Protocol mixins that override ``access``
     #: (RingORAM online reads, PrORAM superblocks, LAORAM bins) disable it.
     SUPPORTS_BATCHED_ACCESS = True
+
+    #: Leaf draws per vectorized RNG refill in :meth:`_draw_leaf`.  0 keeps
+    #: scalar draws; the array backend prefetches in blocks.  A sized
+    #: ``integers(0, n, size=k)`` call consumes the generator stream exactly
+    #: like ``k`` scalar calls, so both settings yield the same leaf
+    #: sequence for a seed — but engines whose protocol interleaves its own
+    #: direct generator use after setup (LAORAM's lookahead planner) must
+    #: pin this to 0 so those draws stay in stream order.
+    LEAF_DRAW_BLOCK = 0
 
     def __init__(
         self,
@@ -104,6 +121,10 @@ class TreeORAMEngine(ObliviousMemory):
             allocator=allocator,
         )
         self._stash_hits = 0
+        # Buffered leaf draws (see _draw_leaf); an exhausted position on an
+        # empty buffer forces the first refill.
+        self._leaf_buf: list[int] = []
+        self._leaf_buf_pos = 0
         # Hot-path caches: ``ORAMConfig.depth``/``num_leaves`` are derived
         # properties recomputed on every read, which adds up at millions of
         # accesses (geometry is immutable, so caching is safe).
@@ -171,6 +192,60 @@ class TreeORAMEngine(ObliviousMemory):
         self.counter.observe_stash(len(self.stash))
         return payload
 
+    def run_trace(
+        self,
+        block_ids: Sequence[int],
+        ops=None,
+        payloads: Optional[Sequence[object]] = None,
+    ) -> list[Optional[object]]:
+        """Execute a whole access sequence in one call.
+
+        Sequential semantics: identical results, counters, timing, RNG
+        stream and stash state to calling :meth:`access` once per element.
+        ``ops`` may be omitted (all reads), one :class:`AccessOp` applied to
+        every access, or a per-access sequence; ``payloads`` requires
+        ``ops`` and supplies the per-access write payloads.  Numpy integer
+        arrays are accepted and drained with one bulk ``tolist``.
+
+        Layers override this with fused drivers (the array backends) or a
+        planning pipeline (LAORAM's lookahead preprocessor); the sequential
+        contract is the same for all of them, so callers never need to know
+        which they hold.
+        """
+        ids = block_ids.tolist() if isinstance(block_ids, np.ndarray) else block_ids
+        op_seq, payload_seq = self._normalize_trace_args(len(ids), ops, payloads)
+        access = self.access
+        if op_seq is None:
+            return [access(block_id) for block_id in ids]
+        return [
+            access(block_id, op, payload)
+            for block_id, op, payload in zip(ids, op_seq, payload_seq)
+        ]
+
+    def _normalize_trace_args(self, n: int, ops, payloads):
+        """Expand/validate ``run_trace``'s op and payload arguments.
+
+        Returns ``(None, None)`` for the common all-reads case so drivers
+        can keep a branch-free fast path, else two length-``n`` sequences.
+        """
+        if ops is None:
+            if payloads is not None:
+                raise ConfigurationError("run_trace payloads require ops")
+            return None, None
+        if isinstance(ops, AccessOp):
+            op_seq: Sequence[AccessOp] = [ops] * n
+        else:
+            op_seq = list(ops)
+            if len(op_seq) != n:
+                raise ConfigurationError("ops must match block_ids in length")
+        if payloads is None:
+            payload_seq: Sequence[object] = [None] * n
+        else:
+            if len(payloads) != n:
+                raise ConfigurationError("payloads must match block_ids in length")
+            payload_seq = payloads
+        return op_seq, payload_seq
+
     def access_many(
         self, block_ids: Sequence[int], batch_size: Optional[int] = None
     ) -> list[Optional[object]]:
@@ -179,15 +254,16 @@ class TreeORAMEngine(ObliviousMemory):
         Without an effective batch size (``batch_size`` argument, falling
         back to the engine's ``batch_size``), or on engines whose protocol
         does not admit the generic batch (``SUPPORTS_BATCHED_ACCESS`` is
-        false), this is the classic one-access-at-a-time loop.  With one,
-        requests are chunked and each chunk is served by
+        false), this delegates to :meth:`run_trace` — the sequential
+        semantics, served by whatever driver the engine fuses it with.
+        With one, requests are chunked and each chunk is served by
         :meth:`_access_batch`: one grouped multi-path read and one grouped
         write-back per chunk instead of a path pair per access.
         """
         size = batch_size if batch_size is not None else self.batch_size
         if size is None or size <= 1 or not self.SUPPORTS_BATCHED_ACCESS:
-            return [self.access(int(block_id)) for block_id in block_ids]
-        ids = [int(block_id) for block_id in block_ids]
+            return self.run_trace(block_ids)
+        ids = self._coerce_id_list(block_ids)
         payloads: list[Optional[object]] = []
         for offset in range(0, len(ids), size):
             payloads.extend(self._access_batch(ids[offset : offset + size]))
@@ -204,18 +280,24 @@ class TreeORAMEngine(ObliviousMemory):
         Duplicate ids within a batch keep the last payload, mirroring a
         sequential write stream.
         """
-        ids = [int(block_id) for block_id in block_ids]
-        if len(ids) != len(payloads):
+        if len(block_ids) != len(payloads):
             raise ConfigurationError("block_ids and payloads must have equal length")
         size = batch_size if batch_size is not None else self.batch_size
         if size is None or size <= 1 or not self.SUPPORTS_BATCHED_ACCESS:
-            for block_id, payload in zip(ids, payloads):
-                self.access(block_id, AccessOp.WRITE, new_payload=payload)
+            self.run_trace(block_ids, ops=AccessOp.WRITE, payloads=payloads)
             return
+        ids = self._coerce_id_list(block_ids)
         for offset in range(0, len(ids), size):
             chunk = ids[offset : offset + size]
             updates = dict(zip(chunk, payloads[offset : offset + size]))
             self._access_batch(chunk, new_payloads=updates)
+
+    @staticmethod
+    def _coerce_id_list(block_ids: Sequence[int]) -> list[int]:
+        """Plain-int id list; bulk ``tolist`` for arrays, no per-element int()."""
+        if isinstance(block_ids, np.ndarray):
+            return block_ids.tolist()
+        return [int(block_id) for block_id in block_ids]
 
     def _access_batch(
         self,
@@ -275,9 +357,31 @@ class TreeORAMEngine(ObliviousMemory):
     # ------------------------------------------------------------------
     # Shared internals (counter/timing charges live here, not in backends)
     # ------------------------------------------------------------------
+    def _draw_leaf(self) -> int:
+        """Draw one uniform leaf from the engine's RNG.
+
+        With :data:`LEAF_DRAW_BLOCK` set, draws are prefetched in blocks via
+        one vectorized ``integers`` call and handed out one at a time —
+        hundreds of scalar generator calls collapse into one dispatch plus a
+        list index.  The stream consumption is identical either way (see the
+        class attribute), so blocked and scalar engines make the same
+        decisions for a seed.
+        """
+        block = self.LEAF_DRAW_BLOCK
+        if not block:
+            return int(self.rng.integers(0, self._num_leaves))
+        pos = self._leaf_buf_pos
+        buf = self._leaf_buf
+        if pos == len(buf):
+            buf = self.rng.integers(0, self._num_leaves, size=block).tolist()
+            self._leaf_buf = buf
+            pos = 0
+        self._leaf_buf_pos = pos + 1
+        return buf[pos]
+
     def _choose_new_leaf(self, block_id: int) -> int:
         """Uniformly random new path; LAORAM overrides this with its plan."""
-        return int(self.rng.integers(0, self._num_leaves))
+        return self._draw_leaf()
 
     def _read_path_into_stash(self, leaf: int, dummy: bool) -> None:
         """Fetch a full path from the server into the stash."""
@@ -339,7 +443,7 @@ class TreeORAMEngine(ObliviousMemory):
 
     def dummy_access(self) -> None:
         """Read and write back one random path without touching any block."""
-        leaf = int(self.rng.integers(0, self._num_leaves))
+        leaf = self._draw_leaf()
         self._read_path_into_stash(leaf, dummy=True)
         self._write_back(leaf)
 
@@ -546,6 +650,28 @@ class ObjectStorageEngine(TreeORAMEngine):
                 self.stash.add(block)
 
 
+def _fused_fetch(read_ids, pm, stash_map, leaf):
+    """Read one path into a dict stash mirror (fused trace drivers).
+
+    ``read_ids`` empties the path and returns its real block ids, compacted
+    by one vectorized mask so only the real blocks a path carries are
+    touched (not every slot).  Leaves come through one position-map
+    ``take`` and the dict absorbs the pairs via C-level ``update(zip(...))``
+    — marginally ahead of a per-id ``pm.item`` loop at PathORAM's ~9 real
+    ids per path and clearly ahead on RingORAM evict paths, which carry
+    several times that.  Compaction preserves root-to-leaf slot order, so
+    dict insertion order is exactly the row order ``append_rows`` would
+    have produced.
+    """
+    ids = read_ids(leaf)
+    stash_map.update(zip(ids.tolist(), pm.take(ids).tolist()))
+
+
+#: Shared by the fused drivers here and in ``ring_oram``; lives with the
+#: other write-back planners (see ``repro.oram.write_back``).
+_fused_write_back = fused_greedy_write_back
+
+
 class ArrayStorageEngine(TreeORAMEngine):
     """Array storage backend: id slot arrays, row stash, client payload store.
 
@@ -554,6 +680,10 @@ class ArrayStorageEngine(TreeORAMEngine):
     out of the simulated server removes all per-block object churn from the
     hot path).
     """
+
+    #: The array backend prefetches leaf draws in blocks (see
+    #: :meth:`TreeORAMEngine._draw_leaf`); stream-identical to scalar draws.
+    LEAF_DRAW_BLOCK = 512
 
     def __init__(self, config: ORAMConfig, **kwargs):
         super().__init__(config, **kwargs)
@@ -672,6 +802,303 @@ class ArrayStorageEngine(TreeORAMEngine):
             self.timing.charge_path_transfer(num_buckets, num_bytes)
             if observer is not None:
                 observer.observe_path(leaf, dummy=dummy)
+
+    # -- fused trace driver ---------------------------------------------
+    def run_trace(
+        self,
+        block_ids: Sequence[int],
+        ops=None,
+        payloads: Optional[Sequence[object]] = None,
+    ) -> list[Optional[object]]:
+        """Fused sequential driver (see :meth:`TreeORAMEngine.run_trace`).
+
+        Falls back to the generic per-access loop whenever this engine's
+        decisions are not the plain PathORAM sequence the fused core
+        replicates: an overridden ``access`` (protocol mixins ship their own
+        fused drivers), a plan-driven ``_choose_new_leaf`` (LAORAM), or a
+        custom eviction policy class.
+        """
+        cls = type(self)
+        if (
+            cls.access is not TreeORAMEngine.access
+            or cls._choose_new_leaf is not TreeORAMEngine._choose_new_leaf
+            or type(self.eviction) is not EvictionPolicy
+        ):
+            return TreeORAMEngine.run_trace(self, block_ids, ops, payloads)
+        return self._run_trace_fused(block_ids, ops, payloads)
+
+    def _run_trace_fused(
+        self,
+        block_ids: Sequence[int],
+        ops=None,
+        payloads: Optional[Sequence[object]] = None,
+        before_access=None,
+        fallback=None,
+    ) -> list[Optional[object]]:
+        """One-loop execution of a whole trace with zero steady-state allocation.
+
+        The driver mirrors the stash into a plain dict (id -> leaf; dict
+        insertion order is exactly the row stash's insertion order, so every
+        write-back decision is identical), runs the PathORAM access sequence
+        with all attribute lookups hoisted to locals, accumulates counters
+        and simulated time in plain Python scalars, and syncs everything
+        back to the engine's structures on exit.  Steady-state work per
+        access is a handful of in-place numpy calls on preallocated scratch
+        plus pure-Python dict/list operations — no numpy allocation at all.
+
+        ``before_access(block_id)`` is a per-access protocol hook (PrORAM
+        locality tracking): returning truthy routes the access through
+        ``fallback(block_id, op, payload)`` with the engine's real
+        structures fully synced before and re-mirrored after, so arbitrary
+        protocol code can interleave with the fused loop.
+
+        Error paths diverge from the sequential loop in one documented way:
+        the stash-capacity check runs after a path's blocks enter the
+        mirror, whereas ``ArrayStash.append_rows`` raises before appending.
+        State on that error path is synced back faithfully either way.
+        """
+        ids = block_ids.tolist() if isinstance(block_ids, np.ndarray) else block_ids
+        n = len(ids)
+        op_seq, payload_seq = self._normalize_trace_args(n, ops, payloads)
+        if fallback is None:
+            fallback = self.access
+        results: list[Optional[object]] = [None] * n
+
+        WRITE = AccessOp.WRITE
+        num_blocks = self.config.num_blocks
+        num_leaves = self._num_leaves
+        tree = self.tree
+        stash = self.stash
+        counter = self.counter
+        timing = self.timing
+        eviction = self.eviction
+        observer = self.observer
+        capacity = stash.capacity
+        depth = self._depth
+
+        pm = self.position_map.leaves
+        pm_item = pm.item
+        payload_store = self._payloads
+        payload_get = payload_store.get
+        slots = tree.slot_array
+        caps = tree.bucket_capacities
+        level_base = tree.level_base
+        node_base = [(1 << level) - 1 for level in range(depth + 1)]
+        groups: list[list[int]] = [[] for _ in range(depth + 1)]
+        # Occupancy is maintained eagerly: the path read zeroes its buckets'
+        # occupancies in one scatter and the write-back writes each visited
+        # level's count — ~1.5 us/access total.  Deferring it (lazy reads +
+        # one vectorized rebuild per sync) measured ~4.5 us/access amortized
+        # at 30k-access traces, so eager wins despite touching occupancy on
+        # every single access.
+        occ = tree.bucket_occupancies
+        read_ids = tree.read_path_ids
+        fetch = _fused_fetch
+        write_back = _fused_write_back
+
+        path_buckets, path_bytes = tree.path_cost(0)
+        dt_path = timing.path_transfer_delta(path_buckets, path_bytes)
+        dt_client = timing.client_overhead_us * 1e-6
+
+        rng_integers = self.rng.integers
+        draw_block = self.LEAF_DRAW_BLOCK or 512
+        leaf_buf = self._leaf_buf
+        leaf_pos = self._leaf_buf_pos
+
+        evict_enabled = eviction.enabled
+        trigger = eviction.trigger_threshold
+        should_continue = eviction.should_continue
+
+        # Stash mirror: id -> leaf in row (== insertion) order, skipping
+        # holes.  All values are Python ints (bulk tolist), so xor/bit_length
+        # in the write-back stay in C-speed small-int land.
+        stash_map: dict[int, int] = {}
+        tail = stash.tail
+        row_leaves = stash.leaf_rows[:tail].tolist()
+        for row, resident in enumerate(stash.id_rows[:tail].tolist()):
+            if resident >= 0:
+                stash_map[resident] = row_leaves[row]
+
+        # Deferred accumulators (flushed by _sync_out, exact under any
+        # grouping for the ints; the float repeats the per-charge += order
+        # so even simulated time is bit-identical).
+        logical = path_reads = path_writes = dummy_reads = 0
+        buckets_read = buckets_written = bytes_read = bytes_written = 0
+        episodes = hits = 0
+        stash_peak = counter.stash_peak
+        elapsed = timing.elapsed_s
+        history = counter.stash_history if counter.record_stash_history else None
+
+        def sync_out():
+            """Flush every accumulator and mirror back into engine state."""
+            nonlocal logical, path_reads, path_writes, dummy_reads
+            nonlocal buckets_read, buckets_written, bytes_read, bytes_written
+            nonlocal episodes, hits
+            self._leaf_buf = leaf_buf
+            self._leaf_buf_pos = leaf_pos
+            stash.clear()
+            if stash_map:
+                count = len(stash_map)
+                stash.append_rows(
+                    np.fromiter(stash_map.keys(), np.int64, count),
+                    np.fromiter(stash_map.values(), np.int64, count),
+                )
+            counter.add_bulk(
+                logical,
+                path_reads,
+                path_writes,
+                dummy_reads,
+                buckets_read,
+                buckets_written,
+                bytes_read,
+                bytes_written,
+                stash_peak,
+                episodes,
+            )
+            logical = path_reads = path_writes = dummy_reads = 0
+            buckets_read = buckets_written = bytes_read = bytes_written = 0
+            episodes = 0
+            timing.set_elapsed(elapsed)
+            self._stash_hits += hits
+            hits = 0
+
+        def sync_in():
+            """Re-mirror engine state after a fallback access ran on it."""
+            nonlocal leaf_buf, leaf_pos, stash_peak, elapsed
+            leaf_buf = self._leaf_buf
+            leaf_pos = self._leaf_buf_pos
+            stash_peak = counter.stash_peak
+            elapsed = timing.elapsed_s
+            stash_map.clear()
+            tail = stash.tail
+            row_leaves = stash.leaf_rows[:tail].tolist()
+            for row, resident in enumerate(stash.id_rows[:tail].tolist()):
+                if resident >= 0:
+                    stash_map[resident] = row_leaves[row]
+
+        try:
+            for index in range(n):
+                block_id = ids[index]
+                if block_id < 0 or block_id >= num_blocks:
+                    raise BlockNotFoundError(
+                        f"block {block_id} outside [0, {num_blocks})"
+                    )
+                if before_access is not None and before_access(block_id):
+                    sync_out()
+                    try:
+                        if op_seq is None:
+                            results[index] = fallback(block_id, AccessOp.READ, None)
+                        else:
+                            results[index] = fallback(
+                                block_id, op_seq[index], payload_seq[index]
+                            )
+                    finally:
+                        sync_in()
+                    continue
+                logical += 1
+                elapsed += dt_client
+
+                if block_id in stash_map:
+                    hits += 1
+                    leaf = None
+                else:
+                    leaf = pm_item(block_id)
+                    fetch(read_ids, pm, stash_map, leaf)
+                    path_reads += 1
+                    buckets_read += path_buckets
+                    bytes_read += path_bytes
+                    elapsed += dt_path
+                    if observer is not None:
+                        observer.observe_path(leaf, dummy=False)
+                    if block_id not in stash_map:
+                        raise BlockNotFoundError(
+                            f"block {block_id} missing from both stash and its path"
+                        )
+                    if capacity is not None and len(stash_map) > capacity:
+                        raise StashOverflowError(
+                            f"stash exceeded its capacity of {capacity} blocks"
+                        )
+
+                # Serve from the client payload store, then remap.
+                if op_seq is not None and op_seq[index] is WRITE:
+                    payload = payload_seq[index]
+                    payload_store[block_id] = payload
+                    results[index] = payload
+                else:
+                    results[index] = payload_get(block_id)
+                if leaf_pos == len(leaf_buf):
+                    leaf_buf = rng_integers(0, num_leaves, size=draw_block).tolist()
+                    leaf_pos = 0
+                new_leaf = leaf_buf[leaf_pos]
+                leaf_pos += 1
+                pm[block_id] = new_leaf
+                stash_map[block_id] = new_leaf
+
+                if leaf is not None:
+                    write_back(
+                        stash_map,
+                        groups,
+                        caps,
+                        level_base,
+                        node_base,
+                        slots,
+                        occ,
+                        depth,
+                        leaf,
+                    )
+                    path_writes += 1
+                    buckets_written += path_buckets
+                    bytes_written += path_bytes
+                    elapsed += dt_path
+
+                occupancy = len(stash_map)
+                if evict_enabled and occupancy > trigger:
+                    episodes += 1
+                    dummies = 0
+                    while should_continue(occupancy, dummies):
+                        if leaf_pos == len(leaf_buf):
+                            leaf_buf = rng_integers(
+                                0, num_leaves, size=draw_block
+                            ).tolist()
+                            leaf_pos = 0
+                        dummy_leaf = leaf_buf[leaf_pos]
+                        leaf_pos += 1
+                        fetch(read_ids, pm, stash_map, dummy_leaf)
+                        dummy_reads += 1
+                        buckets_read += path_buckets
+                        bytes_read += path_bytes
+                        elapsed += dt_path
+                        if observer is not None:
+                            observer.observe_path(dummy_leaf, dummy=True)
+                        if capacity is not None and len(stash_map) > capacity:
+                            raise StashOverflowError(
+                                f"stash exceeded its capacity of {capacity} blocks"
+                            )
+                        write_back(
+                            stash_map,
+                            groups,
+                            caps,
+                            level_base,
+                            node_base,
+                            slots,
+                            occ,
+                            depth,
+                            dummy_leaf,
+                        )
+                        path_writes += 1
+                        buckets_written += path_buckets
+                        bytes_written += path_bytes
+                        elapsed += dt_path
+                        dummies += 1
+                        occupancy = len(stash_map)
+
+                if occupancy > stash_peak:
+                    stash_peak = occupancy
+                if history is not None:
+                    history.append(occupancy)
+        finally:
+            sync_out()
+        return results
 
     #: Whether :meth:`_write_back_many` uses the cross-path batched planner.
     #: The plan it commits is bit-identical to the sequential per-path loop

@@ -81,8 +81,14 @@ class PositionMap:
     def leaves(self) -> np.ndarray:
         """The live leaf array (no copy) for vectorised engines.
 
-        Callers must treat this as read-only; mutate through :meth:`set` /
-        :meth:`set_many` so range checks stay in force.
+        General callers must treat this as read-only and mutate through
+        :meth:`set` / :meth:`set_many` so range checks stay in force.  The
+        fused trace drivers are the one sanctioned exception: they write
+        leaves drawn directly from ``integers(0, num_leaves)`` — range-safe
+        by construction — straight into this array, because a checked
+        :meth:`set` per access is most of the cost the fused path exists to
+        remove.  The array identity is stable for the engine's lifetime, so
+        drivers may cache the reference (and its bound ``item`` accessor).
         """
         return self._leaves
 

@@ -24,12 +24,22 @@ from typing import Optional
 
 import numpy as np
 
-from repro.exceptions import BlockNotFoundError, ConfigurationError
+from repro.exceptions import (
+    BlockNotFoundError,
+    ConfigurationError,
+    StashOverflowError,
+)
 from repro.memory.accounting import TrafficCounter
 from repro.memory.timing import TimingModel
 from repro.oram.base import AccessOp
 from repro.oram.config import ORAMConfig
-from repro.oram.engine import ArrayStorageEngine, ObjectStorageEngine
+from repro.oram.engine import (
+    ArrayStorageEngine,
+    ObjectStorageEngine,
+    TreeORAMEngine,
+    _fused_fetch,
+)
+from repro.oram.write_back import fused_greedy_write_back as _fused_write_back
 
 
 def reverse_lexicographic_leaf(counter: int, depth: int) -> int:
@@ -114,7 +124,7 @@ class RingProtocolMixin:
 
         payload = self._serve(handle, op, new_payload)
 
-        new_leaf = int(self.rng.integers(0, self._num_leaves))
+        new_leaf = self._draw_leaf()
         self.position_map.set(block_id, new_leaf)
         self._stash_insert(handle, new_leaf)
 
@@ -195,4 +205,266 @@ class ArrayRingORAM(RingProtocolMixin, ArrayStorageEngine):
     per-bucket read counts live in one numpy vector — while drawing from the
     RNG in exactly the per-object order, so a fixed seed gives bit-identical
     traffic counters.
+
+    :meth:`run_trace` fuses the whole protocol — online reads, scheduled
+    reverse-lexicographic evictions, bucket reshuffles — into one loop over
+    a dict stash mirror with deferred counter/timing aggregation, the same
+    discipline as :meth:`ArrayStorageEngine._run_trace_fused`.
     """
+
+    def run_trace(
+        self,
+        block_ids,
+        ops=None,
+        payloads=None,
+    ):
+        """Fused RingORAM trace driver (sequential semantics)."""
+        if type(self).access is not RingProtocolMixin.access:
+            return TreeORAMEngine.run_trace(self, block_ids, ops, payloads)
+        return self._run_trace_ring_fused(block_ids, ops, payloads)
+
+    def _run_trace_ring_fused(
+        self,
+        block_ids,
+        ops=None,
+        payloads=None,
+    ):
+        """One-loop RingORAM execution over the dict stash mirror.
+
+        Decision-identical to the per-access protocol: detach moves the
+        target out of the mirror, a scheduled evict-path empties the path
+        before its write-back (so the shared zero-occupancy write-back
+        helper applies), and reshuffle checks run against the same bucket
+        read counts in the same order.  All counter/timing charges accumulate
+        in locals and flush on exit.
+        """
+        ids = block_ids.tolist() if isinstance(block_ids, np.ndarray) else block_ids
+        n = len(ids)
+        op_seq, payload_seq = self._normalize_trace_args(n, ops, payloads)
+        results = [None] * n
+
+        WRITE = AccessOp.WRITE
+        num_blocks = self.config.num_blocks
+        num_leaves = self._num_leaves
+        tree = self.tree
+        stash = self.stash
+        counter = self.counter
+        timing = self.timing
+        observer = self.observer
+        capacity = stash.capacity
+        depth = self._depth
+        evict_rate = self.evict_rate
+        dummies_per_bucket = self.dummies_per_bucket
+        read_counts = self._bucket_read_counts
+        rc_item = read_counts.item
+        counts_scratch = np.empty(self._depth + 1, dtype=read_counts.dtype)
+
+        pm = self.position_map.leaves
+        pm_item = pm.item
+        payload_store = self._payloads
+        payload_get = payload_store.get
+        slots = tree.slot_array
+        occ = tree.bucket_occupancies
+        caps = tree.bucket_capacities
+        level_base = tree.level_base
+        node_base = [(1 << level) - 1 for level in range(depth + 1)]
+        groups = [[] for _ in range(depth + 1)]
+        read_ids = tree.read_path_ids
+        path_nodes = tree.path_nodes
+        remove_on_path = tree.remove_on_path
+        fetch = _fused_fetch
+        write_back = _fused_write_back
+
+        # Per-charge deltas, memoised per geometry exactly as the live
+        # protocol's charge_path_transfer calls would be.
+        path_buckets, path_bytes = tree.path_cost(0)
+        dt_path = timing.path_transfer_delta(path_buckets, path_bytes)
+        dt_client = timing.client_overhead_us * 1e-6
+        online_buckets = depth + 1
+        online_bytes = online_buckets * tree.stored_block_bytes
+        dt_online = timing.path_transfer_delta(online_buckets, online_bytes)
+        reshuffle_bytes = [
+            (caps[level] + dummies_per_bucket) * tree.stored_block_bytes
+            for level in range(depth + 1)
+        ]
+        dt_reshuffle = [
+            timing.path_transfer_delta(1, 2 * slot_bytes)
+            for slot_bytes in reshuffle_bytes
+        ]
+
+        rng_integers = self.rng.integers
+        draw_block = self.LEAF_DRAW_BLOCK or 512
+        leaf_buf = self._leaf_buf
+        leaf_pos = self._leaf_buf_pos
+        access_count = self._access_count
+        evict_counter = self._evict_counter
+
+        stash_map = {}
+        tail = stash.tail
+        row_leaves = stash.leaf_rows[:tail].tolist()
+        for row, resident in enumerate(stash.id_rows[:tail].tolist()):
+            if resident >= 0:
+                stash_map[resident] = row_leaves[row]
+
+        logical = path_reads = path_writes = dummy_reads = 0
+        buckets_read = buckets_written = bytes_read = bytes_written = 0
+        stash_peak = counter.stash_peak
+        elapsed = timing.elapsed_s
+        history = counter.stash_history if counter.record_stash_history else None
+
+        try:
+            for index in range(n):
+                block_id = ids[index]
+                if block_id < 0 or block_id >= num_blocks:
+                    raise BlockNotFoundError(
+                        f"block {block_id} outside [0, {num_blocks})"
+                    )
+                logical += 1
+                elapsed += dt_client
+
+                stashed = block_id in stash_map
+                if stashed:
+                    del stash_map[block_id]
+                leaf = pm_item(block_id)
+
+                # Online read: one block per bucket on the path.
+                found = True if stashed else remove_on_path(leaf, block_id)
+                nodes = path_nodes(leaf)
+                # One gather/add/scatter through the counts scratch both
+                # bumps the path's read counts and yields the post-bump
+                # values the reshuffle check needs — half the fancy-index
+                # passes of a ``+= 1`` followed by a separate ``take``.
+                read_counts.take(nodes, out=counts_scratch)
+                counts_scratch += 1
+                read_counts[nodes] = counts_scratch
+                nodes_list = None
+                if stashed:
+                    dummy_reads += 1
+                else:
+                    path_reads += 1
+                buckets_read += online_buckets
+                bytes_read += online_bytes
+                elapsed += dt_online
+                if observer is not None:
+                    observer.observe_path(leaf, dummy=stashed)
+                if not found:
+                    raise BlockNotFoundError(
+                        f"block {block_id} missing from its path"
+                    )
+
+                if op_seq is not None and op_seq[index] is WRITE:
+                    payload = payload_seq[index]
+                    payload_store[block_id] = payload
+                    results[index] = payload
+                else:
+                    results[index] = payload_get(block_id)
+
+                if leaf_pos == len(leaf_buf):
+                    leaf_buf = rng_integers(0, num_leaves, size=draw_block).tolist()
+                    leaf_pos = 0
+                new_leaf = leaf_buf[leaf_pos]
+                leaf_pos += 1
+                pm[block_id] = new_leaf
+                stash_map[block_id] = new_leaf
+                if capacity is not None and len(stash_map) > capacity:
+                    raise StashOverflowError(
+                        f"stash exceeded its capacity of {capacity} blocks"
+                    )
+
+                access_count += 1
+                if access_count % evict_rate == 0:
+                    # The evict fetch reuses the tree's path scratches, so
+                    # materialise the accessed path's node ids first.
+                    nodes_list = nodes.tolist()
+                    evict_leaf = reverse_lexicographic_leaf(evict_counter, depth)
+                    evict_counter += 1
+                    fetch(read_ids, pm, stash_map, evict_leaf)
+                    dummy_reads += 1
+                    buckets_read += path_buckets
+                    bytes_read += path_bytes
+                    elapsed += dt_path
+                    if capacity is not None and len(stash_map) > capacity:
+                        raise StashOverflowError(
+                            f"stash exceeded its capacity of {capacity} blocks"
+                        )
+                    write_back(
+                        stash_map,
+                        groups,
+                        caps,
+                        level_base,
+                        node_base,
+                        slots,
+                        occ,
+                        depth,
+                        evict_leaf,
+                    )
+                    path_writes += 1
+                    buckets_written += path_buckets
+                    bytes_written += path_bytes
+                    elapsed += dt_path
+                    read_counts[path_nodes(evict_leaf)] = 0
+
+                # Reshuffle any bucket on the accessed path whose dummies
+                # ran out (post-eviction counts, as in the live protocol).
+                # On non-evict accesses the post-bump counts scratch is
+                # still current, and one vectorized max gates the level
+                # scan — most accesses leave every bucket below threshold,
+                # so they skip the scan (and its tolist) entirely.  An
+                # eviction may have zeroed nodes the two paths share (the
+                # root always), so evict accesses recompute per node from
+                # the list materialised before the scratch was reused.
+                if nodes_list is not None:
+                    counts_list = [rc_item(node) for node in nodes_list]
+                elif counts_scratch.max() >= dummies_per_bucket:
+                    counts_list = counts_scratch.tolist()
+                else:
+                    counts_list = None
+                if counts_list is not None:
+                    for level, count in enumerate(counts_list):
+                        if count >= dummies_per_bucket:
+                            dummy_reads += 1
+                            path_writes += 1
+                            buckets_read += 1
+                            buckets_written += 1
+                            slot_bytes = reshuffle_bytes[level]
+                            bytes_read += slot_bytes
+                            bytes_written += slot_bytes
+                            elapsed += dt_reshuffle[level]
+                            node = (
+                                nodes.item(level)
+                                if nodes_list is None
+                                else nodes_list[level]
+                            )
+                            read_counts[node] = 0
+
+                occupancy = len(stash_map)
+                if occupancy > stash_peak:
+                    stash_peak = occupancy
+                if history is not None:
+                    history.append(occupancy)
+        finally:
+            self._leaf_buf = leaf_buf
+            self._leaf_buf_pos = leaf_pos
+            self._access_count = access_count
+            self._evict_counter = evict_counter
+            stash.clear()
+            if stash_map:
+                count = len(stash_map)
+                stash.append_rows(
+                    np.fromiter(stash_map.keys(), np.int64, count),
+                    np.fromiter(stash_map.values(), np.int64, count),
+                )
+            counter.add_bulk(
+                logical,
+                path_reads,
+                path_writes,
+                dummy_reads,
+                buckets_read,
+                buckets_written,
+                bytes_read,
+                bytes_written,
+                stash_peak,
+                0,
+            )
+            timing.set_elapsed(elapsed)
+        return results

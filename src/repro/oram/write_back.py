@@ -17,7 +17,10 @@ Two planners live here:
   array backend: it groups the whole stash against *all* of a batch's paths
   in one vectorized xor/frexp/argsort pass, then replays the sequential
   per-path greedy selection over the shared bucket state, so committing its
-  plan is bit-identical to writing the paths back one at a time.
+  plan is bit-identical to writing the paths back one at a time;
+* :func:`fused_greedy_write_back` — the allocation-free specialization the
+  fused trace drivers run: same greedy rule over a plain dict stash mirror,
+  valid only immediately after the target path has been emptied by a read.
 """
 
 from __future__ import annotations
@@ -187,3 +190,69 @@ def plan_batched_write_back(
                 occupancy += 1
             occ[bucket] = occupancy
     return rows, slots, list(occ.keys()), list(occ.values())
+
+
+def fused_greedy_write_back(
+    stash_map, groups, caps, level_base, node_base, slots, occ, depth, leaf
+):
+    """Greedy write-back from a dict stash mirror onto a freshly read path.
+
+    The fused trace drivers' specialization of :func:`plan_greedy_write_back`
+    for the one case they are always in: the path to ``leaf`` was just
+    emptied by a full read, so every bucket on it has occupancy zero and the
+    plan/commit split collapses into direct scalar slot writes.  Dict
+    iteration order is insertion order — the same order the row stash
+    enumerates — so grouping by xor bit length, LIFO pool selection and
+    ascending slot assignment are all decision-identical to the reference
+    planner; the scalar occupancy write per visited level equals the
+    planner's full-path scatter because unvisited levels hold zero either
+    way.  Chosen blocks are deleted from ``stash_map`` in place.  ``occ``
+    may be ``None`` for drivers that defer occupancy bookkeeping entirely
+    (they settle it per sync via ``rebuild_path_occupancies``).
+
+    ``groups`` is caller-owned scratch (``depth + 1`` empty lists, left
+    empty again on return via clear-on-consume) so the steady-state loop
+    allocates nothing beyond one small pool list.  Every stash entry is
+    eligible — both leaves live below ``2**depth`` so the xor bit length
+    never exceeds ``depth`` — and the level walk only runs where there is
+    work: it starts at the deepest non-empty group and, whenever the pool
+    drains, jumps straight to the next non-empty group instead of
+    stepping through levels that cannot place anything.
+    """
+    present = []
+    for resident, resident_leaf in stash_map.items():
+        bits = (resident_leaf ^ leaf).bit_length()
+        group = groups[bits]
+        if not group:
+            present.append(bits)
+        group.append(resident)
+    if not present:
+        return
+    present.sort()
+    pool = []
+    gi = 0
+    ng = len(present)
+    level = depth - present[0]
+    while level >= 0:
+        if gi < ng and present[gi] == depth - level:
+            group = groups[present[gi]]
+            pool.extend(group)
+            group.clear()
+            gi += 1
+        count = len(pool)
+        if not count:
+            if gi == ng:
+                break
+            level = depth - present[gi]
+            continue
+        cap = caps[level]
+        take = cap if cap < count else count
+        node = leaf >> (depth - level)
+        slot = level_base[level] + node * cap
+        for offset in range(take):
+            victim = pool.pop()
+            slots[slot + offset] = victim
+            del stash_map[victim]
+        if occ is not None:
+            occ[node_base[level] + node] = take
+        level -= 1

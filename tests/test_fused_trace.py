@@ -1,0 +1,263 @@
+"""Fused trace-driver guarantees: bit-identity and zero-allocation.
+
+Three contracts of the fused hot path (PR 8):
+
+* deferred counter aggregation (``TrafficCounter.deferred`` and the bulk
+  flush the fused drivers use) is bit-identical to per-event recording,
+  across all four protocol families;
+* ``run_trace`` is decision-for-decision identical to a per-call ``access``
+  loop — counters, timing, position map, stash contents and order, results —
+  including under aggressive background eviction, superblock merges, write
+  ops and numpy-array inputs;
+* the steady-state fused loop performs no per-access numpy allocations:
+  ``tracemalloc`` growth over a long trace is bounded by the results list
+  plus the block-buffered RNG refills.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core.config import LAORAMConfig
+from repro.core.laoram import LAORAMClient
+from repro.memory.accounting import TrafficCounter
+from repro.oram.array_path_oram import ArrayPathORAM
+from repro.oram.base import AccessOp
+from repro.oram.config import ORAMConfig
+from repro.oram.eviction import EvictionPolicy
+from repro.oram.path_oram import PathORAM
+from repro.oram.pr_oram import ArrayPrORAM, PrORAM, SuperblockMode
+from repro.oram.ring_oram import ArrayRingORAM, RingORAM
+
+
+NUM_BLOCKS = 700
+
+
+def _config(seed: int = 7) -> ORAMConfig:
+    return ORAMConfig(num_blocks=NUM_BLOCKS, block_size_bytes=64, seed=seed)
+
+
+def _trace(n: int = 1500, seed: int = 11) -> list[int]:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, NUM_BLOCKS, size=n).tolist()
+
+
+def _merge_trace(n_groups: int = 500, seed: int = 12) -> list[int]:
+    """Ping-pong group pattern that drives PrORAM's dynamic merge logic."""
+    rng = np.random.default_rng(seed)
+    trace: list[int] = []
+    for _ in range(n_groups):
+        group = int(rng.integers(0, NUM_BLOCKS // 2))
+        trace += [2 * group, min(2 * group + 1, NUM_BLOCKS - 1), 2 * group]
+    return trace
+
+
+def _state(engine):
+    """Everything that must match between two engine instances."""
+    stash = engine.stash
+    if hasattr(stash, "id_rows"):
+        tail = stash.tail
+        stash_rows = [
+            (int(b), int(leaf))
+            for b, leaf in zip(stash.id_rows[:tail], stash.leaf_rows[:tail])
+            if b >= 0
+        ]
+    else:
+        stash_rows = [
+            (block.block_id, block.leaf) for block in stash
+        ]
+    return (
+        engine.statistics,
+        engine.timing.elapsed_s,
+        engine.position_map.as_array().tolist(),
+        stash_rows,
+    )
+
+
+FAMILIES = [
+    ("pathoram", PathORAM, {}),
+    ("ringoram", RingORAM, {}),
+    ("proram", PrORAM, {"superblock_size": 2, "mode": SuperblockMode.DYNAMIC}),
+]
+
+ARRAY_FAMILIES = [
+    ("pathoram", ArrayPathORAM, {}),
+    ("ringoram", ArrayRingORAM, {}),
+    (
+        "proram",
+        ArrayPrORAM,
+        {"superblock_size": 2, "mode": SuperblockMode.DYNAMIC},
+    ),
+]
+
+
+class TestDeferredCounterEquivalence:
+    """Deferred aggregation == per-event recording, bit for bit."""
+
+    @pytest.mark.parametrize("name,cls,kwargs", FAMILIES)
+    def test_reference_families(self, name, cls, kwargs):
+        trace = _trace()
+        live = cls(_config(), counter=TrafficCounter(), **kwargs)
+        deferred = cls(_config(), counter=TrafficCounter(deferred=True), **kwargs)
+        for block_id in trace:
+            live.access(block_id)
+            deferred.access(block_id)
+        assert deferred.statistics == live.statistics
+        # Snapshot flushes; a second snapshot must not double-count.
+        assert deferred.statistics == live.statistics
+
+    def test_laoram(self):
+        addresses = np.asarray(_trace(), dtype=np.int64)
+
+        def build(counter):
+            return LAORAMClient(
+                LAORAMConfig(oram=_config(), superblock_size=4),
+                counter=counter,
+            )
+
+        live = build(TrafficCounter())
+        deferred = build(TrafficCounter(deferred=True))
+        live.run_trace(addresses)
+        deferred.run_trace(addresses)
+        assert deferred.statistics == live.statistics
+
+    def test_stash_history_stays_live_when_deferred(self):
+        counter = TrafficCounter(deferred=True)
+        counter.record_stash_history = True
+        engine = PathORAM(_config(), counter=counter)
+        trace = _trace(n=50)
+        for block_id in trace:
+            engine.access(block_id)
+        assert len(counter.stash_history) == len(trace)
+
+
+class TestRunTraceBitIdentity:
+    """run_trace == per-call access loop on both backends."""
+
+    @pytest.mark.parametrize("name,cls,kwargs", ARRAY_FAMILIES)
+    def test_fused_matches_per_call_loop(self, name, cls, kwargs):
+        trace = _trace()
+        fused = cls(_config(), **kwargs)
+        loop = cls(_config(), **kwargs)
+        fused_results = fused.run_trace(trace)
+        loop_results = [loop.access(block_id) for block_id in trace]
+        assert fused_results == loop_results
+        assert _state(fused) == _state(loop)
+
+    @pytest.mark.parametrize("name,cls,kwargs", ARRAY_FAMILIES)
+    def test_fused_matches_reference_engine(self, name, cls, kwargs):
+        ref_cls = dict(
+            pathoram=PathORAM, ringoram=RingORAM, proram=PrORAM
+        )[name]
+        trace = _trace()
+        fused = cls(_config(), **kwargs)
+        reference = ref_cls(_config(), **kwargs)
+        fused_results = fused.run_trace(trace)
+        ref_results = [reference.access(block_id) for block_id in trace]
+        assert fused_results == ref_results
+        assert _state(fused) == _state(reference)
+
+    def test_aggressive_background_eviction(self):
+        eviction = EvictionPolicy(trigger_threshold=2, drain_target=1)
+        trace = _trace()
+        fused = ArrayPathORAM(_config(), eviction=eviction)
+        loop = ArrayPathORAM(_config(), eviction=eviction)
+        assert fused.run_trace(trace) == [loop.access(b) for b in trace]
+        assert _state(fused) == _state(loop)
+        assert fused.statistics.background_evictions > 0
+
+    def test_proram_merge_heavy_trace(self):
+        trace = _merge_trace()
+        kwargs = {"superblock_size": 2, "mode": SuperblockMode.DYNAMIC}
+        fused = ArrayPrORAM(_config(), **kwargs)
+        loop = ArrayPrORAM(_config(), **kwargs)
+        assert fused.run_trace(trace) == [loop.access(b) for b in trace]
+        assert _state(fused) == _state(loop)
+        assert fused.merged_group_count == loop.merged_group_count
+        assert fused.merged_group_count > 0
+
+    def test_write_ops_round_trip(self):
+        trace = _trace(n=400)
+        payloads = [f"payload-{i}" for i in range(len(trace))]
+        fused = ArrayPathORAM(_config())
+        loop = ArrayPathORAM(_config())
+        fused_results = fused.run_trace(
+            trace, ops=AccessOp.WRITE, payloads=payloads
+        )
+        loop_results = [
+            loop.access(b, AccessOp.WRITE, p) for b, p in zip(trace, payloads)
+        ]
+        assert fused_results == loop_results
+        assert _state(fused) == _state(loop)
+        # Written payloads are served back by subsequent reads.
+        last = {b: p for b, p in zip(trace, payloads)}
+        reads = fused.run_trace(list(last))
+        assert reads == [last[b] for b in last]
+
+    def test_ndarray_input(self):
+        trace = np.asarray(_trace(n=300), dtype=np.int64)
+        fused = ArrayPathORAM(_config())
+        loop = ArrayPathORAM(_config())
+        assert fused.run_trace(trace) == [loop.access(int(b)) for b in trace]
+        assert _state(fused) == _state(loop)
+
+    def test_empty_trace(self):
+        engine = ArrayPathORAM(_config())
+        before = _state(engine)
+        assert engine.run_trace([]) == []
+        assert _state(engine) == before
+
+    def test_out_of_range_id_raises_and_flushes(self):
+        from repro.exceptions import BlockNotFoundError
+
+        engine = ArrayPathORAM(_config())
+        mirror = ArrayPathORAM(_config())
+        trace = _trace(n=50)
+        with pytest.raises(BlockNotFoundError):
+            engine.run_trace(trace + [NUM_BLOCKS + 5])
+        # The prefix before the bad id must have been executed and flushed.
+        for block_id in trace:
+            mirror.access(block_id)
+        assert _state(engine) == _state(mirror)
+
+    def test_access_many_sequential_routes_through_run_trace(self):
+        trace = _trace(n=300)
+        via_many = ArrayPathORAM(_config())
+        via_trace = ArrayPathORAM(_config())
+        assert via_many.access_many(trace) == via_trace.run_trace(trace)
+        assert _state(via_many) == _state(via_trace)
+
+
+class TestZeroAllocationSteadyState:
+    """tracemalloc regression: the fused loop's growth is bounded."""
+
+    def test_array_path_oram_fused_loop(self):
+        engine = ArrayPathORAM(_config())
+        warmup = _trace(n=600, seed=3)
+        engine.run_trace(warmup)
+
+        steady = _trace(n=2000, seed=4)
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        results = engine.run_trace(steady)
+        after, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert len(results) == len(steady)
+
+        growth = after - before
+        # Steady-state allocations are the results list (one pointer-sized
+        # slot per access) plus the periodic 512-draw RNG leaf refills.
+        # Per-access numpy work (path reads, write-backs, counter updates)
+        # must run entirely in preallocated scratch: allow a fixed 64 KiB
+        # slack, far below one numpy temporary per access (~2000 * >100B).
+        results_bytes = len(steady) * 16
+        assert growth <= results_bytes + 64 * 1024, (
+            f"fused loop grew {growth}B over {len(steady)} accesses "
+            f"(results list bound {results_bytes}B + 64KiB slack)"
+        )
+        # Peak admits the sync-out flush (stash re-materialization, counter
+        # bulk add) but no per-access temporaries.
+        assert peak - before <= results_bytes + 256 * 1024
