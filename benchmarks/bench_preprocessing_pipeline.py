@@ -7,17 +7,16 @@ benchmark measures the reproduction's actual preprocessing throughput and
 feeds it into the pipeline model.
 """
 
-import numpy as np
-
 from repro.core.pipeline import TrainingPipeline
 from repro.core.preprocessor import Preprocessor
+from repro.utils.rng import make_rng
 
 from .conftest import BENCH_SCALE, record
 
 
 def test_preprocessing_pipeline(benchmark):
     scale = BENCH_SCALE
-    rng = np.random.default_rng(12)
+    rng = make_rng(12)
     addresses = rng.integers(0, scale.num_blocks, size=scale.num_accesses)
     preprocessor = Preprocessor(superblock_size=4, num_leaves=scale.num_blocks, seed=0)
 

@@ -17,7 +17,6 @@ Run with ``python examples/attack_demo.py``.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import InsecureMemory, LAORAMClient, LAORAMConfig, ORAMConfig
 from repro.attacks import (

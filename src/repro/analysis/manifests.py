@@ -1,0 +1,353 @@
+"""Manifests: what is secret, what is hot, and what is legitimately revealed.
+
+The taint/allocation rules are only as good as their ground truth, and that
+ground truth is protocol knowledge no AST walk can infer.  This module
+states it explicitly, per engine module:
+
+* :class:`ModuleSources` — the taint *sources* of one module: parameter
+  names that carry secrets (request block ids), attribute suffixes whose
+  values are secret (position-map leaf arrays, stash id/leaf rows), calls
+  whose results are secret (position-map lookups, stash lookups), and the
+  *declassifier* calls after which a leaf argument is public (the protocol
+  has just read that path, so the adversary saw it).
+* hot-function manifests — which functions the OBL rules analyze
+  (``obl_hot_functions``), which the zero-allocation rule covers and at
+  what granularity (``alloc_hot_functions``), and which fused drivers owe
+  a deferred-counter flush (``fused_drivers``).
+* :class:`Declassification` — the allowlist for places the protocol
+  legitimately reveals secret-derived information (PrORAM's history-based
+  merging, client-side write-back planning).  Every entry carries a
+  mandatory reason, mirrored in ``docs/static_analysis.md``.
+
+Modules are matched by posix path *suffix* (``oram/engine.py``), so scratch
+copies under a temp dir are analyzed with the real manifest — that is what
+lets the regression tests plant a bug in a copy of the engine and watch the
+rule fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Declassifier:
+    """A call after which given positional args become public.
+
+    ``suffix`` matches the end of the call's dotted name; ``positions`` are
+    the 0-based positional arguments whose (bare-name) taint is cleared
+    after the call — e.g. the leaf passed to a path read is revealed by the
+    read itself.
+    """
+
+    suffix: str
+    positions: tuple[int, ...]
+
+
+@dataclass
+class ModuleSources:
+    """Taint sources (and declassifiers) for one module."""
+
+    #: Function parameter names that carry secrets.
+    params: frozenset[str] = frozenset()
+    #: Dotted attribute suffixes whose values are secret.
+    attrs: frozenset[str] = frozenset()
+    #: Dotted call suffixes whose return values are secret.
+    calls: frozenset[str] = frozenset()
+    #: Calls that reveal (declassify) specific arguments.
+    declassifiers: tuple[Declassifier, ...] = ()
+
+
+@dataclass(frozen=True)
+class AllocScope:
+    """Zero-allocation coverage for one function.
+
+    ``granularity`` is ``"body"`` for per-access leaf helpers (the whole
+    body is steady state) or ``"loops"`` for trace drivers (setup before
+    the access loop may allocate; loop bodies may not).
+    """
+
+    qualname: str
+    granularity: str = "body"
+
+
+@dataclass(frozen=True)
+class Declassification:
+    """Allowlist entry: findings of ``rules`` in one function are sanctioned."""
+
+    module_suffix: str
+    qualname: str
+    rules: tuple[str, ...]
+    reason: str
+
+
+@dataclass
+class AnalysisConfig:
+    """Everything the rules need to know about the codebase under analysis."""
+
+    #: module suffix -> taint sources for the OBL rules.
+    sources: dict[str, ModuleSources] = field(default_factory=dict)
+    #: module suffix -> qualnames (fnmatch patterns) the OBL rules analyze.
+    obl_hot_functions: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: Bare names of *observable* (simulated server-side) containers;
+    #: a tainted subscript index into one of these is an OBL002 sink.
+    observable_containers: frozenset[str] = frozenset()
+    #: module suffix -> zero-allocation scopes for ALLOC001.
+    alloc_hot_functions: dict[str, tuple[AllocScope, ...]] = field(
+        default_factory=dict
+    )
+    #: module suffix -> fused-driver qualnames for CNT001.
+    fused_drivers: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: Path suffixes where direct RNG construction is allowed (RNG001).
+    rng_allowed_modules: tuple[str, ...] = ()
+    #: Class-name patterns API001 checks for SUPPORTS_BATCHED_ACCESS.
+    mixin_class_patterns: tuple[str, ...] = ("*Mixin",)
+    #: Declassification allowlist (see class docstring).
+    declassifications: tuple[Declassification, ...] = ()
+    #: Rule ids to run (None = all registered).
+    rules: Optional[tuple[str, ...]] = None
+
+    # ------------------------------------------------------------------
+    def _norm(self, path: str) -> str:
+        return path.replace("\\", "/")
+
+    def module_key(self, path: str, table: dict) -> Optional[str]:
+        """The table key whose suffix matches ``path`` (longest wins)."""
+        norm = self._norm(path)
+        best: Optional[str] = None
+        for suffix in table:
+            if norm.endswith(suffix) and (best is None or len(suffix) > len(best)):
+                best = suffix
+        return best
+
+    def sources_for(self, path: str) -> Optional[ModuleSources]:
+        key = self.module_key(path, self.sources)
+        return self.sources[key] if key is not None else None
+
+    def obl_hot_for(self, path: str) -> tuple[str, ...]:
+        key = self.module_key(path, self.obl_hot_functions)
+        return self.obl_hot_functions[key] if key is not None else ()
+
+    def alloc_scopes_for(self, path: str) -> tuple[AllocScope, ...]:
+        key = self.module_key(path, self.alloc_hot_functions)
+        return self.alloc_hot_functions[key] if key is not None else ()
+
+    def fused_drivers_for(self, path: str) -> tuple[str, ...]:
+        key = self.module_key(path, self.fused_drivers)
+        return self.fused_drivers[key] if key is not None else ()
+
+    def rng_allowed(self, path: str) -> bool:
+        norm = self._norm(path)
+        return any(norm.endswith(suffix) for suffix in self.rng_allowed_modules)
+
+    def declassification_reason(
+        self, path: str, qualname: str, rule: str
+    ) -> Optional[str]:
+        """Allowlist reason covering (module, function, rule), else None."""
+        norm = self._norm(path)
+        for entry in self.declassifications:
+            if (
+                norm.endswith(entry.module_suffix)
+                and rule in entry.rules
+                and fnmatchcase(qualname, entry.qualname)
+            ):
+                return entry.reason
+        return None
+
+
+# ----------------------------------------------------------------------
+# The repository manifest
+# ----------------------------------------------------------------------
+#: Path reads reveal the leaf they fetch: after any of these calls, the
+#: leaf argument is public by protocol (the adversary just watched the
+#: path transfer).  Positions index the *positional* argument carrying the
+#: leaf at each call shape used in the engine core.
+_PATH_REVEAL = (
+    Declassifier("_read_path_into_stash", (0,)),
+    Declassifier("_read_paths_into_stash", (0,)),
+    Declassifier("read_path_ids", (0,)),
+    Declassifier("read_paths_ids", (0,)),
+    Declassifier("read_path", (0,)),
+    Declassifier("_fetch_path", (0,)),
+    # _fused_fetch(read_ids, pm, stash_map, leaf): the leaf is argument 3.
+    Declassifier("_fused_fetch", (3,)),
+    Declassifier("fetch", (3,)),
+    Declassifier("_online_read", (0,)),
+    Declassifier("remove_on_path", (0,)),
+    Declassifier("observe_path", (0,)),
+    Declassifier("_write_back", (0,)),
+)
+
+_ENGINE_SOURCES = ModuleSources(
+    params=frozenset({"block_id", "block_ids", "stash_map", "pm", "groups"}),
+    attrs=frozenset({"position_map.leaves", "id_rows", "leaf_rows", "stash"}),
+    calls=frozenset({"position_map.get", "_stash_lookup", "_stash_detach"}),
+    declassifiers=_PATH_REVEAL,
+)
+
+_PRORAM_SOURCES = ModuleSources(
+    params=frozenset({"block_id", "block_ids", "stash_map"}),
+    attrs=frozenset(
+        {
+            "position_map.leaves",
+            "id_rows",
+            "leaf_rows",
+            "stash",
+            "_locality_counters",
+            "_merged_groups",
+            "_recent_group_counts",
+            "_recent_block_counts",
+        }
+    ),
+    calls=frozenset({"position_map.get", "_stash_lookup", "_stash_detach"}),
+    declassifiers=_PATH_REVEAL,
+)
+
+_WRITE_BACK_SOURCES = ModuleSources(
+    params=frozenset({"stash", "stash_map"}),
+    attrs=frozenset({"id_rows", "leaf_rows"}),
+    calls=frozenset(),
+    declassifiers=(),
+)
+
+
+def default_config() -> AnalysisConfig:
+    """The manifest for this repository (see docs/static_analysis.md)."""
+    return AnalysisConfig(
+        sources={
+            "repro/oram/engine.py": _ENGINE_SOURCES,
+            "repro/oram/ring_oram.py": _ENGINE_SOURCES,
+            "repro/oram/pr_oram.py": _PRORAM_SOURCES,
+            "repro/oram/write_back.py": _WRITE_BACK_SOURCES,
+        },
+        obl_hot_functions={
+            "repro/oram/engine.py": (
+                "TreeORAMEngine.access",
+                "TreeORAMEngine._access_batch",
+                "TreeORAMEngine._maybe_background_evict",
+                "TreeORAMEngine.dummy_access",
+                "ArrayStorageEngine._run_trace_fused",
+                "ArrayStorageEngine._fetch_path",
+                "ArrayStorageEngine._read_paths_into_stash",
+                "ArrayStorageEngine._write_back_many",
+                "ArrayStorageEngine._commit_write_back",
+                "ArrayStorageEngine._commit_write_back_scalar",
+                "ArrayStorageEngine._commit_write_back_vector",
+                "ArrayStorageEngine._select_and_commit",
+                "_fused_fetch",
+            ),
+            "repro/oram/ring_oram.py": (
+                "RingProtocolMixin.access",
+                "RingProtocolMixin._online_read",
+                "RingProtocolMixin._reshuffle_exhausted_buckets",
+                "RingProtocolMixin._evict_path",
+                "ArrayRingORAM._run_trace_ring_fused",
+            ),
+            "repro/oram/pr_oram.py": (
+                "SuperblockPolicyMixin.access",
+                "SuperblockPolicyMixin._policy_access",
+                "SuperblockPolicyMixin._update_locality",
+                "ArrayPrORAM._make_trace_before_access.<locals>.before_access",
+            ),
+            "repro/oram/write_back.py": (
+                "plan_greedy_write_back",
+                "plan_batched_write_back",
+                "fused_greedy_write_back",
+            ),
+        },
+        observable_containers=frozenset(
+            {"slots", "slot_array", "occ", "bucket_occupancies", "_slots", "_occ"}
+        ),
+        alloc_hot_functions={
+            "repro/oram/engine.py": (
+                AllocScope("ArrayStorageEngine._run_trace_fused", "loops"),
+                AllocScope("_fused_fetch", "body"),
+            ),
+            "repro/oram/ring_oram.py": (
+                AllocScope("ArrayRingORAM._run_trace_ring_fused", "loops"),
+            ),
+            "repro/oram/pr_oram.py": (
+                AllocScope(
+                    "ArrayPrORAM._make_trace_before_access.<locals>.before_access",
+                    "body",
+                ),
+            ),
+            "repro/oram/write_back.py": (
+                AllocScope("fused_greedy_write_back", "body"),
+            ),
+            "repro/oram/tree.py": (
+                AllocScope("ArrayTreeStorage._fill_path_slots", "body"),
+                AllocScope("ArrayTreeStorage.path_nodes", "body"),
+                AllocScope("ArrayTreeStorage.read_path_raw", "body"),
+            ),
+        },
+        fused_drivers={
+            "repro/oram/engine.py": ("ArrayStorageEngine._run_trace_fused",),
+            "repro/oram/ring_oram.py": ("ArrayRingORAM._run_trace_ring_fused",),
+        },
+        rng_allowed_modules=("repro/utils/rng.py",),
+        declassifications=(
+            Declassification(
+                "repro/oram/pr_oram.py",
+                "SuperblockPolicyMixin._update_locality",
+                ("OBL001", "OBL002"),
+                "dynamic superblock locality tracking is PrORAM's documented "
+                "history-based mechanism; its observable effect (merged "
+                "fetches) is the protocol itself (Yu et al., ISCA'15)",
+            ),
+            Declassification(
+                "repro/oram/pr_oram.py",
+                "ArrayPrORAM._make_trace_before_access.<locals>.before_access",
+                ("OBL001", "OBL002"),
+                "fused replay of _update_locality: same history-based reveal, "
+                "declassified for the same reason",
+            ),
+            Declassification(
+                "repro/oram/pr_oram.py",
+                "SuperblockPolicyMixin._policy_access",
+                ("OBL001", "OBL002"),
+                "merged-group routing and partner holds are the PrORAM "
+                "policy; path draws stay uniform so the revealed path stream "
+                "is PathORAM's",
+            ),
+            Declassification(
+                "repro/oram/write_back.py",
+                "plan_greedy_write_back",
+                ("OBL001", "OBL002"),
+                "write-back planning is client-side; the committed path is "
+                "charged at full-path cost regardless of which blocks are "
+                "selected, so selection branches are unobservable",
+            ),
+            Declassification(
+                "repro/oram/write_back.py",
+                "plan_batched_write_back",
+                ("OBL001", "OBL002"),
+                "client-side planning (see plan_greedy_write_back); commits "
+                "a placement bit-identical to the sequential per-path loop",
+            ),
+            Declassification(
+                "repro/oram/write_back.py",
+                "fused_greedy_write_back",
+                ("OBL001", "OBL002"),
+                "client-side planning (see plan_greedy_write_back); slot "
+                "indices written derive from the already-revealed path leaf",
+            ),
+            Declassification(
+                "repro/oram/engine.py",
+                "ArrayStorageEngine._commit_write_back*",
+                ("OBL001", "OBL002"),
+                "client-side write-back planning over stash rows (see "
+                "plan_greedy_write_back); observable path write is charged "
+                "in full either way",
+            ),
+            Declassification(
+                "repro/oram/engine.py",
+                "ArrayStorageEngine._select_and_commit",
+                ("OBL001", "OBL002"),
+                "client-side greedy selection; committed slot indices derive "
+                "from the already-revealed path leaf",
+            ),
+        ),
+    )

@@ -1,0 +1,27 @@
+"""Built-in rules.  Importing this package registers every rule.
+
+Rule inventory (ids are stable; see ``docs/static_analysis.md``):
+
+* OBL001/OBL002 — secret-dependent branches / loop bounds & observable
+  indices in engine hot paths (:mod:`.obliviousness`).
+* RNG001 — direct RNG construction outside ``repro.utils.rng``
+  (:mod:`.rng`).
+* ALLOC001 — allocation inside the fused zero-allocation hot paths
+  (:mod:`.alloc`).
+* API001 — protocol mixins missing ``SUPPORTS_BATCHED_ACCESS``
+  (:mod:`.api`).
+* CNT001 — fused drivers without a finally-guarded ``add_bulk`` flush
+  (:mod:`.counters`).
+* SUP001 — malformed or reason-less inline suppressions (emitted by the
+  driver in :mod:`repro.analysis.core`, not a rule class).
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (registration side effects)
+    alloc,
+    api,
+    counters,
+    obliviousness,
+    rng,
+)
+
+__all__ = ["alloc", "api", "counters", "obliviousness", "rng"]

@@ -1,0 +1,85 @@
+"""API001 — protocol mixins must declare SUPPORTS_BATCHED_ACCESS.
+
+The engine's batch entry point (``access_many``) routes through
+``_access_batch`` only when the active protocol mixin opts in via the
+``SUPPORTS_BATCHED_ACCESS`` class attribute.  A mixin that omits the
+declaration silently inherits whatever the MRO provides, which is exactly
+how a protocol that is *not* batch-safe (RingORAM's per-bucket read
+counters, PrORAM's history updates) ends up batched by accident.  The
+contract is therefore: every class matching the mixin patterns that
+implements an access-path method states the flag explicitly in its own
+class body.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatchcase
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    Rule,
+    SourceModule,
+    build_qualnames,
+    register_rule,
+)
+
+_FLAG = "SUPPORTS_BATCHED_ACCESS"
+#: A mixin is "protocol-shaped" if it defines any of these methods.
+_ACCESS_METHODS = frozenset(
+    {"access", "access_many", "write_many", "_access_batch", "run_trace"}
+)
+
+
+def _declares_flag(cls: ast.ClassDef) -> bool:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == _FLAG:
+                    return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == _FLAG:
+                return True
+    return False
+
+
+def _is_protocol_shaped(cls: ast.ClassDef) -> bool:
+    return any(
+        isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and stmt.name in _ACCESS_METHODS
+        for stmt in cls.body
+    )
+
+
+@register_rule
+class BatchedAccessDeclarationRule(Rule):
+    rule_id = "API001"
+    title = "protocol mixin missing SUPPORTS_BATCHED_ACCESS declaration"
+
+    def check(self, module: SourceModule, config) -> Iterator[Finding]:
+        qualnames = build_qualnames(module.tree)
+        for node, qual in qualnames.items():
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(
+                fnmatchcase(node.name, pattern)
+                for pattern in config.mixin_class_patterns
+            ):
+                continue
+            if not _is_protocol_shaped(node):
+                continue
+            if _declares_flag(node):
+                continue
+            yield Finding(
+                rule=self.rule_id,
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"protocol mixin {node.name} defines an access-path "
+                    f"method but does not declare {_FLAG} in its class body; "
+                    "batch routing must be an explicit per-protocol decision"
+                ),
+                qualname=qual,
+            )

@@ -1,0 +1,132 @@
+"""OBL001/OBL002 — secret-dependent control flow in engine hot paths.
+
+OBL001 flags branches (``if``, ternaries, comprehension filters) whose
+condition carries taint from a manifest secret source; OBL002 flags
+secret-sized loop bounds (``while`` tests, ``for`` iterables whose length
+is secret) and tainted subscript indices into observable (simulated
+server-side) containers.
+
+Only functions listed in the module's ``obl_hot_functions`` manifest are
+analyzed: obliviousness is a property of the access/eviction hot paths,
+and scoping the walk keeps every finding actionable.  Places where the
+protocol *legitimately* reveals secret-derived information are sanctioned
+either by a manifest :class:`~repro.analysis.manifests.Declassification`
+entry or an inline ``# oblivious: allow[OBL001] reason`` suppression —
+both require a written reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatchcase
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    Rule,
+    SourceModule,
+    build_qualnames,
+    register_rule,
+)
+from repro.analysis.taint import TaintSink, walk_function
+
+
+def _labels_text(sink: TaintSink) -> str:
+    return ", ".join(sorted(sink.labels))
+
+
+def _function_nodes(module: SourceModule):
+    """(node, qualname) for every non-nested function in the module."""
+    qualnames = build_qualnames(module.tree)
+    for node, qual in qualnames.items():
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if ".<locals>." not in qual:
+                yield node, qual
+
+
+def _is_hot(qualname: str, patterns: tuple[str, ...]) -> bool:
+    return any(fnmatchcase(qualname, pattern) for pattern in patterns)
+
+
+def _covers_hot(qualname: str, patterns: tuple[str, ...]) -> bool:
+    """Whether this function or one nested inside it is hot."""
+    if _is_hot(qualname, patterns):
+        return True
+    prefix = qualname + ".<locals>."
+    return any(pattern.startswith(prefix) for pattern in patterns)
+
+
+class _OblBase(Rule):
+    kinds: frozenset[str] = frozenset()
+
+    def check(self, module: SourceModule, config) -> Iterator[Finding]:
+        sources = config.sources_for(module.path)
+        patterns = config.obl_hot_for(module.path)
+        if sources is None or not patterns:
+            return
+        for node, qual in _function_nodes(module):
+            if not _covers_hot(qual, patterns):
+                continue
+            for fn_taint in walk_function(
+                node, qual, sources, config.observable_containers
+            ):
+                if not _is_hot(fn_taint.qualname, patterns):
+                    continue
+                for sink in fn_taint.sinks:
+                    if sink.kind not in self.kinds:
+                        continue
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.path,
+                        line=sink.line,
+                        col=sink.col,
+                        message=self.describe(sink),
+                        qualname=fn_taint.qualname,
+                        secrets=tuple(sorted(sink.labels)),
+                    )
+
+    def describe(self, sink: TaintSink) -> str:
+        raise NotImplementedError
+
+
+@register_rule
+class SecretBranchRule(_OblBase):
+    rule_id = "OBL001"
+    title = "secret-dependent branch in an engine hot path"
+    kinds = frozenset({"if", "ifexp", "comp_if"})
+
+    def describe(self, sink: TaintSink) -> str:
+        what = {
+            "if": "branch",
+            "ifexp": "conditional expression",
+            "comp_if": "comprehension filter",
+        }[sink.kind]
+        suffix = " guarding an early exit" if sink.early_exit else ""
+        return (
+            f"secret-dependent {what}{suffix} in {sink.qualname} "
+            f"(secrets: {_labels_text(sink)})"
+        )
+
+
+@register_rule
+class SecretLoopRule(_OblBase):
+    rule_id = "OBL002"
+    title = "secret-dependent loop bound / observable index in a hot path"
+    kinds = frozenset({"while", "for", "subscript"})
+
+    def describe(self, sink: TaintSink) -> str:
+        if sink.kind == "while":
+            return (
+                f"secret-dependent while-loop bound in {sink.qualname} "
+                f"(secrets: {_labels_text(sink)})"
+            )
+        if sink.kind == "for":
+            return (
+                f"loop over a secret-sized sequence in {sink.qualname} "
+                f"(secrets: {_labels_text(sink)})"
+            )
+        return (
+            f"secret-dependent index into observable container "
+            f"'{sink.container}' in {sink.qualname} "
+            f"(secrets: {_labels_text(sink)})"
+        )

@@ -45,7 +45,7 @@ from repro.exceptions import ConfigurationError
 from repro.memory.accounting import TrafficSnapshot, merge_snapshots
 from repro.oram.pr_oram import SuperblockMode
 from repro.experiments.sharded.executor import ProcessShardExecutor
-from repro.experiments.sharded.planner import SHARDABLE_FAMILIES, ShardPlanner
+from repro.experiments.sharded.planner import ShardPlanner
 
 
 @dataclass(frozen=True)

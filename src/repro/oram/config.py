@@ -13,7 +13,7 @@ The central knobs mirror the paper's experimental setup:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.exceptions import ConfigurationError

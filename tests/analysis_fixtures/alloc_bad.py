@@ -1,0 +1,24 @@
+"""Known-bad allocation snippets for the fixture alloc manifest.
+
+``hot_helper`` is covered at ``body`` granularity, ``Driver.run_trace`` at
+``loops`` granularity (setup may allocate, loop bodies may not).
+"""
+
+import numpy as np
+
+
+def hot_helper(stash_map, slots):
+    rows = [row for row in stash_map]  # EXPECT: ALLOC001
+    scratch = np.zeros(4)  # EXPECT: ALLOC001
+    pairs = {0: 1}  # EXPECT: ALLOC001
+    out = list(stash_map)  # EXPECT: ALLOC001
+    return rows, scratch, pairs, out
+
+
+class Driver:
+    def run_trace(self, ids, scratch):
+        results = [None] * len(ids)  # setup allocation: allowed under "loops"
+        for index in range(len(ids)):
+            results[index] = [ids[index]]  # EXPECT: ALLOC001
+            scratch += np.concatenate((scratch, scratch))  # EXPECT: ALLOC001
+        return results

@@ -1,0 +1,18 @@
+"""Known-good allocation snippets: in-place operations only in hot scopes."""
+
+
+def hot_helper(stash_map, slots, occ):
+    total = 0
+    for key in stash_map:
+        total += key
+    occ[0] = total
+    slots[total & 3] = total
+    return total
+
+
+class Driver:
+    def run_trace(self, ids, scratch):
+        setup = list(ids)  # setup allocation: allowed under "loops"
+        for index in range(len(setup)):
+            scratch[index] = setup[index] + 1
+        return scratch

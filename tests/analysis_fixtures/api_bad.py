@@ -1,0 +1,6 @@
+"""Known-bad mixin: protocol-shaped but silent about batch support."""
+
+
+class BrokenProtocolMixin:  # EXPECT: API001
+    def access(self, block_id):
+        return block_id

@@ -1,0 +1,21 @@
+"""Known-good mixins: explicit batch declarations (or no protocol surface)."""
+
+
+class ScalarProtocolMixin:
+    SUPPORTS_BATCHED_ACCESS = False
+
+    def access(self, block_id):
+        return block_id
+
+
+class BatchedProtocolMixin:
+    SUPPORTS_BATCHED_ACCESS: bool = True
+
+    def _access_batch(self, block_ids):
+        return block_ids
+
+
+class HelperMixin:
+    # No access-path methods, so the flag is not required.
+    def shape_hint(self):
+        return 0

@@ -1,0 +1,16 @@
+"""Known-bad RNG snippets: direct construction outside repro.utils.rng."""
+
+import random  # EXPECT: RNG001
+
+import numpy as np
+
+from numpy.random import default_rng  # EXPECT: RNG001
+
+
+def draw_unseeded():
+    rng = np.random.default_rng()  # EXPECT: RNG001
+    return rng.integers(0, 8), random.random(), default_rng
+
+
+def legacy_global_state():
+    return np.random.randint(0, 8)  # EXPECT: RNG001

@@ -1,0 +1,19 @@
+"""Known-good RNG usage: everything flows through repro.utils.rng."""
+
+import numpy as np
+
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+def draw_seeded(seed):
+    rng = make_rng(seed)
+    return rng.integers(0, 8)
+
+
+def draw_streams(seed):
+    return spawn_rngs(seed, 4)
+
+
+def annotation_is_fine(rng: np.random.Generator) -> int:
+    # Referencing the type is not constructing a generator.
+    return int(rng.integers(0, 8))

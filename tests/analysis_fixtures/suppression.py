@@ -1,0 +1,16 @@
+"""Suppression mechanics: valid inline allows, and SUP001 for bad ones."""
+
+import random  # oblivious: allow[RNG001] fixture: valid trailing suppression
+
+# oblivious: allow[RNG001] fixture: a comment-line allow covers the next line
+from random import randint
+
+# EXPECT-BELOW: SUP001
+# oblivious: allow[RNG001]
+from random import choice  # EXPECT: RNG001
+
+# EXPECT-BELOW: SUP001
+# oblivious: allowRNG001 malformed, missing brackets
+from repro.utils.rng import make_rng
+
+__all__ = ["random", "randint", "choice", "make_rng"]

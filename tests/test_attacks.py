@@ -1,6 +1,5 @@
 """Tests for the adversarial observers and leakage analysis."""
 
-import numpy as np
 import pytest
 
 from repro.attacks.analysis import (
