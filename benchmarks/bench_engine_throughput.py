@@ -32,6 +32,15 @@ Modes::
                       it off (``batched_write_back=False``) must leave
                       counters bit-identical — for PathORAM batches and
                       LAORAM bins alike
+    --mode recursion  dense vs recursive position map over the same trace
+                      (2^20 blocks by default; ``--smoke`` drops to 2^18):
+                      main-tree decisions must be bit-identical (core
+                      counters and final leaf assignment), the recursion's
+                      own traffic lands in the ``posmap_*`` counters, and
+                      the per-family lookahead amortization (posmap paths
+                      per logical access) is reported alongside the honest
+                      client-memory reduction; ``--max-recursion-slowdown``
+                      optionally gates the wall-clock cost (CI smoke does)
     --mode parallel   wall-clock scaling of the process-parallel
                       ``ShardedRunner``: the same trace is executed
                       sequentially and at each ``--workers`` count over a
@@ -344,6 +353,157 @@ def bench_batched(family, label, oram_config, trace, args):
     return None
 
 
+#: Snapshot fields that describe the *main tree* only — the recursion gate
+#: requires these to be bit-identical between dense and recursive runs
+#: (the posmap_* fields necessarily differ: that is the recursion's cost).
+CORE_SNAPSHOT_FIELDS: tuple[str, ...] = (
+    "logical_accesses",
+    "path_reads",
+    "path_writes",
+    "dummy_reads",
+    "buckets_read",
+    "buckets_written",
+    "bytes_read",
+    "bytes_written",
+    "stash_peak",
+    "background_evictions",
+)
+
+
+def bench_recursion(family, label, oram_config, trace, args):
+    """Dense vs recursive position map over the same trace, one family.
+
+    Both engines replay the identical trace with the identical seed; the
+    recursive map's constructor draws the initial labels with the exact
+    RNG call the dense map makes, so every main-tree decision must be
+    bit-identical — gated on the core counter fields and the final leaf
+    assignment.  The recursion's own path traffic lands in the dedicated
+    ``posmap_*`` counters; the headline number is posmap paths per
+    logical access — the lookahead amortization LAORAM banks on (one
+    charged walk remaps a whole superblock, so S4 pays ~1/4 of
+    PathORAM's per-access walk rate) — next to the honest client-memory
+    reduction the recursion buys.  Wall-clock slowdown (the recursive
+    map also forfeits the fused trace drivers) is gated only when
+    ``--max-recursion-slowdown`` is passed, as the CI smoke does.
+    """
+    num_accesses = len(trace.addresses)
+
+    def measure(recursive):
+        best_seconds, best_engine = None, None
+        for _ in range(max(1, args.trials)):
+            gc.collect()
+            engine = build_engine(
+                label,
+                oram_config,
+                fast=True,
+                recursive_posmap=recursive,
+                posmap_positions_per_block=args.posmap_positions_per_block,
+                posmap_cutoff_bytes=args.posmap_cutoff_bytes,
+            )
+            start = time.perf_counter()
+            engine.run_trace(trace.addresses)
+            seconds = time.perf_counter() - start
+            if best_seconds is None or seconds < best_seconds:
+                best_seconds, best_engine = seconds, engine
+        return best_seconds, best_engine
+
+    dense_s, dense_engine = measure(False)
+    dense_snapshot = dense_engine.statistics
+    dense_leaves = dense_engine.position_map.as_array()
+    dense_cmb = dense_engine.client_memory_bytes()
+    del dense_engine
+    rec_s, rec_engine = measure(True)
+    rec_snapshot = rec_engine.statistics
+    rec_leaves = rec_engine.position_map.as_array()
+    rec_cmb = rec_engine.client_memory_bytes()
+    posmap = rec_engine.position_map
+    geometry = posmap.geometry()
+
+    dense_rate = num_accesses / dense_s
+    rec_rate = num_accesses / rec_s
+    slowdown = rec_s / dense_s
+    paths_per_access = rec_snapshot.posmap_paths_per_access
+    posmap_bytes_per_access = (
+        rec_snapshot.posmap_total_bytes / max(1, rec_snapshot.logical_accesses)
+    )
+    print(
+        f"[{family:9s}] dense: {dense_s:7.2f}s {dense_rate:9.0f} acc/s | "
+        f"recursive: {rec_s:7.2f}s {rec_rate:9.0f} acc/s | "
+        f"{slowdown:5.2f}x slower"
+    )
+    print(
+        f"[{family:9s}] levels={posmap.num_levels} "
+        f"chi={args.posmap_positions_per_block} | "
+        f"posmap paths/access {paths_per_access:.3f} | "
+        f"posmap bytes/access {posmap_bytes_per_access:.0f} | "
+        f"client mem {dense_cmb:,}B -> {rec_cmb:,}B"
+    )
+
+    passed = True
+    leaves_identical = bool(np.array_equal(dense_leaves, rec_leaves))
+    core_identical = all(
+        getattr(dense_snapshot, name) == getattr(rec_snapshot, name)
+        for name in CORE_SNAPSHOT_FIELDS
+    )
+    if not leaves_identical:
+        print(
+            f"[{family:9s}] FAIL: final leaf assignments diverge between "
+            "dense and recursive maps"
+        )
+        passed = False
+    if not core_identical:
+        print(
+            f"[{family:9s}] FAIL: main-tree counters diverge between dense "
+            "and recursive maps"
+        )
+        print(f"  dense:     {dense_snapshot}")
+        print(f"  recursive: {rec_snapshot}")
+        passed = False
+    if rec_snapshot.posmap_path_reads == 0:
+        print(
+            f"[{family:9s}] FAIL: recursive run recorded no posmap path "
+            "reads (recursion traffic is not being charged)"
+        )
+        passed = False
+    if dense_snapshot.posmap_path_reads != 0:
+        print(
+            f"[{family:9s}] FAIL: dense run recorded posmap path reads "
+            "(the dense map must never charge the posmap category)"
+        )
+        passed = False
+    if (
+        args.max_recursion_slowdown is not None
+        and slowdown > args.max_recursion_slowdown
+    ):
+        print(
+            f"[{family:9s}] FAIL: recursive slowdown {slowdown:.2f}x above "
+            f"the {args.max_recursion_slowdown}x bound"
+        )
+        passed = False
+
+    return {
+        "family": family,
+        "mode": "recursion",
+        "trials": args.trials,
+        "positions_per_block": args.posmap_positions_per_block,
+        "cutoff_bytes": args.posmap_cutoff_bytes,
+        "num_levels": posmap.num_levels,
+        "geometry": geometry,
+        "dense_rate": dense_rate,
+        "recursive_rate": rec_rate,
+        "slowdown": slowdown,
+        "max_recursion_slowdown": args.max_recursion_slowdown,
+        "posmap_paths_per_access": paths_per_access,
+        "posmap_bytes_per_access": posmap_bytes_per_access,
+        "client_memory_dense_bytes": dense_cmb,
+        "client_memory_recursive_bytes": rec_cmb,
+        "leaves_bit_identical": leaves_identical,
+        "core_counters_bit_identical": core_identical,
+        "snapshot": dataclasses.asdict(rec_snapshot),
+        "passed": passed,
+    }
+
+
 def bench_parallel(family, trace, args):
     """Wall-clock scaling of the process-parallel ShardedRunner for one family.
 
@@ -528,11 +688,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--mode",
-        choices=("ratio", "absolute", "batched", "parallel", "profile"),
+        choices=("ratio", "absolute", "batched", "recursion", "parallel", "profile"),
         default="ratio",
         help="ratio: reference-vs-fast speedup gate; absolute: fast engines "
         "only, gated on accesses/second; batched: batched-access protocol "
         "vs per-access, plus batched-vs-sequential write-back equivalence; "
+        "recursion: dense vs recursive position map, gated on main-tree "
+        "bit-identity with the lookahead amortization reported; "
         "parallel: wall-clock scaling of the process-parallel ShardedRunner "
         "plus serving latency percentiles; profile: ungated per-phase "
         "wall-time breakdown of the per-access protocol vs the fused rate",
@@ -585,6 +747,28 @@ def main(argv=None) -> int:
         "throughput (batched mode); the engine's BATCHED_WB_MIN_PATHS "
         "fallback keeps the planner out of the sub-break-even bin sizes, so "
         "the ratio is ~1.0 and the floor only allows for runner noise",
+    )
+    parser.add_argument(
+        "--posmap-positions-per-block",
+        type=int,
+        default=64,
+        help="leaf labels packed per recursion block (recursion mode)",
+    )
+    parser.add_argument(
+        "--posmap-cutoff-bytes",
+        type=int,
+        default=1 << 16,
+        help="client-memory budget the recursion shrinks the top-level "
+        "dense map under (recursion mode)",
+    )
+    parser.add_argument(
+        "--max-recursion-slowdown",
+        type=float,
+        default=None,
+        help="gate the recursive/dense wall-clock slowdown (recursion "
+        "mode); omit to record the cost ungated — the recursive map "
+        "forfeits the fused drivers, so CI smoke passes an explicit bound "
+        "instead of hard-coding one for every machine",
     )
     parser.add_argument(
         "--num-shards",
@@ -657,11 +841,23 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     if args.families is None:
-        args.families = ["laoram"] if args.mode == "parallel" else sorted(FAMILY_GATES)
+        if args.mode == "parallel":
+            args.families = ["laoram"]
+        elif args.mode == "recursion":
+            # The amortization table's families: one charged walk per
+            # access (pathoram/ringoram) vs one per superblock (laoram).
+            args.families = ["laoram", "pathoram", "ringoram"]
+        else:
+            args.families = sorted(FAMILY_GATES)
 
     if args.smoke:
-        num_blocks = args.num_blocks or (1 << 12)
+        num_blocks = args.num_blocks or (
+            (1 << 18) if args.mode == "recursion" else (1 << 12)
+        )
         num_accesses = args.num_accesses or 10_000
+    elif args.mode == "recursion":
+        num_blocks = args.num_blocks or (1 << 20)
+        num_accesses = args.num_accesses or 20_000
     elif args.mode == "absolute":
         num_blocks = args.num_blocks or (1 << 20)
         num_accesses = args.num_accesses or 100_000
@@ -694,6 +890,12 @@ def main(argv=None) -> int:
     for family in args.families:
         label, family_min = FAMILY_GATES[family]
         min_speedup = args.min_speedup if args.min_speedup is not None else family_min
+
+        if args.mode == "recursion":
+            entry = bench_recursion(family, label, oram_config, trace, args)
+            results.append(entry)
+            failed = failed or not entry["passed"]
+            continue
 
         if args.mode == "batched" and not args.smoke:
             entry = bench_batched(family, label, oram_config, trace, args)

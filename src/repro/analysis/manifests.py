@@ -212,6 +212,13 @@ _WRITE_BACK_SOURCES = ModuleSources(
     declassifiers=(),
 )
 
+_RECURSIVE_POSMAP_SOURCES = ModuleSources(
+    params=frozenset({"block_id", "block_ids"}),
+    attrs=frozenset({"stash", "labels", "_top", "_entries", "_pending"}),
+    calls=frozenset({"_walk", "position_map.get"}),
+    declassifiers=_PATH_REVEAL,
+)
+
 
 def default_config() -> AnalysisConfig:
     """The manifest for this repository (see docs/static_analysis.md)."""
@@ -221,6 +228,7 @@ def default_config() -> AnalysisConfig:
             "repro/oram/ring_oram.py": _ENGINE_SOURCES,
             "repro/oram/pr_oram.py": _PRORAM_SOURCES,
             "repro/oram/write_back.py": _WRITE_BACK_SOURCES,
+            "repro/oram/recursive_posmap.py": _RECURSIVE_POSMAP_SOURCES,
         },
         obl_hot_functions={
             "repro/oram/engine.py": (
@@ -255,6 +263,13 @@ def default_config() -> AnalysisConfig:
                 "plan_greedy_write_back",
                 "plan_batched_write_back",
                 "fused_greedy_write_back",
+            ),
+            "repro/oram/recursive_posmap.py": (
+                "RecursivePositionMap._walk",
+                "RecursivePositionMap.get",
+                "RecursivePositionMap.set",
+                "RecursivePositionMap.get_many",
+                "RecursivePositionMap.set_many",
             ),
         },
         observable_containers=frozenset(

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.exceptions import BlockNotFoundError, ConfigurationError
 from repro.oram.array_path_oram import ArrayPathORAM
+from repro.oram.position_map import PositionMap
 from repro.core.laoram import LookaheadClientMixin
 from repro.core.superblock import LookaheadPlan, SuperblockBin
 
@@ -79,7 +80,7 @@ class FastLAORAMClient(LookaheadClientMixin, ArrayPathORAM):
             )
         initial = plan.initial_leaves(self.config.num_blocks)
         planned = np.nonzero(initial >= 0)[0]
-        self.position_map.set_many(planned, initial[planned])
+        self.position_map.load_many(planned, initial[planned])
         plan.consume_first_occurrences(self.config.num_blocks)
         self.tree = self._make_tree()
         self.stash.clear()
@@ -125,10 +126,13 @@ class FastLAORAMClient(LookaheadClientMixin, ArrayPathORAM):
             for block_id in needed:
                 self._check_block_id(block_id)
 
-        # Leaf reads/writes go straight to the position-map array: every id
-        # was range-checked above and every new leaf comes from the plan or
-        # the engine RNG, both already bounded by num_leaves.
-        pm_leaves = self.position_map.leaves
+        # Leaf reads/writes go straight to the position-map array when the
+        # map is the trusted dense one: every id was range-checked above and
+        # every new leaf comes from the plan or the engine RNG, both already
+        # bounded by num_leaves.  A recursive map has no free array view, so
+        # leaf lookups and remaps route through its charged get/set walks.
+        dense = type(self.position_map) is PositionMap
+        pm_leaves = self.position_map.leaves if dense else None
         stash = self.stash
         row_of = stash.row_of
         read_leaves: list[int] = []
@@ -136,8 +140,12 @@ class FastLAORAMClient(LookaheadClientMixin, ArrayPathORAM):
         self._stash_hits += len(needed) - len(missing)
         if missing:
             leaves: dict[int, None] = {}
-            for block_id in missing:
-                leaves.setdefault(int(pm_leaves[block_id]), None)
+            if dense:
+                for block_id in missing:
+                    leaves.setdefault(int(pm_leaves[block_id]), None)
+            else:
+                for block_id in missing:
+                    leaves.setdefault(self.position_map.get(block_id), None)
             read_leaves = list(leaves)
             self._read_paths_into_stash(read_leaves, dummy=False)
             for block_id in missing:
@@ -170,7 +178,10 @@ class FastLAORAMClient(LookaheadClientMixin, ArrayPathORAM):
                     raise ConfigurationError(
                         f"planned leaf {leaf} outside [0, {num_leaves})"
                     )
-                pm_leaves[block_id] = leaf
+                if dense:
+                    pm_leaves[block_id] = leaf
+                else:
+                    self.position_map.set(block_id, leaf)
                 stash_leaves[row_of[block_id]] = leaf
         else:
             rng = self.rng
@@ -181,7 +192,10 @@ class FastLAORAMClient(LookaheadClientMixin, ArrayPathORAM):
                     raise ConfigurationError(
                         f"planned leaf {leaf} outside [0, {num_leaves})"
                     )
-                pm_leaves[block_id] = leaf
+                if dense:
+                    pm_leaves[block_id] = leaf
+                else:
+                    self.position_map.set(block_id, leaf)
                 stash_leaves[row_of[block_id]] = leaf
 
         self._write_back_many(read_leaves)

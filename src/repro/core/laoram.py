@@ -294,7 +294,7 @@ class LAORAMClient(LookaheadClientMixin, PathORAM):
         # Reassign initial paths: first planned occurrence when available.
         initial = plan.initial_leaves(self.config.num_blocks)
         for block_id in np.nonzero(initial >= 0)[0].tolist():
-            self.position_map.set(block_id, int(initial[block_id]))
+            self.position_map.load(block_id, int(initial[block_id]))
         plan.consume_first_occurrences(self.config.num_blocks)
         # Rebuild the tree layout under the new position map, preserving any
         # payloads installed by load_payloads().  The stash id list is
@@ -310,7 +310,7 @@ class LAORAMClient(LookaheadClientMixin, PathORAM):
         self.stash.clear()
         for block_id in sorted(blocks):
             block = blocks[block_id]
-            block.leaf = self.position_map.get(block.block_id)
+            block.leaf = self.position_map.peek(block.block_id)
             if not self.tree.try_place_on_path(block):
                 self.stash.add(block)
 

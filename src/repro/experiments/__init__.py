@@ -8,6 +8,11 @@ from repro.experiments.configs import (
 )
 from repro.experiments.metrics import ExperimentResult
 from repro.experiments.plotting import ascii_bar_chart, ascii_line_chart
+from repro.experiments.recursion import (
+    RecursionAmortizationRow,
+    render_recursion_table,
+    run_recursion_amortization,
+)
 from repro.experiments.runner import compare_configurations, run_configuration
 from repro.experiments.scale import ExperimentScale
 from repro.experiments.sharded import ShardedRunner, ShardResult
@@ -19,6 +24,9 @@ __all__ = [
     "build_laoram_config",
     "ExperimentResult",
     "ExperimentScale",
+    "RecursionAmortizationRow",
+    "run_recursion_amortization",
+    "render_recursion_table",
     "run_configuration",
     "compare_configurations",
     "ascii_bar_chart",

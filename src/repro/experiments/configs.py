@@ -60,6 +60,9 @@ def build_oram_config(
     fat_tree: bool = False,
     root_bucket_size: Optional[int] = None,
     seed: int = 0,
+    recursive_posmap: bool = False,
+    posmap_positions_per_block: int = 64,
+    posmap_cutoff_bytes: int = 1 << 16,
 ) -> ORAMConfig:
     """Convenience constructor for the tree geometry used across experiments."""
     return ORAMConfig(
@@ -69,6 +72,9 @@ def build_oram_config(
         fat_tree=fat_tree,
         root_bucket_size=root_bucket_size,
         seed=seed,
+        recursive_posmap=recursive_posmap,
+        posmap_positions_per_block=posmap_positions_per_block,
+        posmap_cutoff_bytes=posmap_cutoff_bytes,
     )
 
 
@@ -119,6 +125,9 @@ def build_engine(
     fast: bool = False,
     batched: bool = False,
     batch_size: int = 64,
+    recursive_posmap: Optional[bool] = None,
+    posmap_positions_per_block: Optional[int] = None,
+    posmap_cutoff_bytes: Optional[int] = None,
 ) -> ObliviousMemory:
     """Instantiate the engine named by ``label`` on the given tree geometry.
 
@@ -135,9 +144,26 @@ def build_engine(
     accepts-and-ignores the flag because its superblock bins already batch
     on bin boundaries, and the remaining families raise
     :class:`~repro.exceptions.UnsupportedEngineError`.
+
+    ``recursive_posmap=True`` (or the flag already set on ``oram_config``)
+    stores the position map in recursion ORAMs instead of a trusted dense
+    array; ``posmap_positions_per_block`` / ``posmap_cutoff_bytes`` tune the
+    recursion geometry.  ``None`` leaves the corresponding ``oram_config``
+    field untouched.
     """
     parsed = parse_label(label)
     config = oram_config if seed is None else oram_config.with_overrides(seed=seed)
+    posmap_overrides = {
+        name: value
+        for name, value in (
+            ("recursive_posmap", recursive_posmap),
+            ("posmap_positions_per_block", posmap_positions_per_block),
+            ("posmap_cutoff_bytes", posmap_cutoff_bytes),
+        )
+        if value is not None
+    }
+    if posmap_overrides:
+        config = config.with_overrides(**posmap_overrides)
     family = parsed["family"]
     if fast and family not in FAST_ENGINE_FAMILIES:
         raise UnsupportedEngineError(

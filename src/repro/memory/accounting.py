@@ -26,6 +26,13 @@ class TrafficSnapshot:
     bytes_written: int
     stash_peak: int
     background_evictions: int
+    # Recursive-position-map traffic is charged as its own category so the
+    # main-tree counters above stay directly comparable between dense and
+    # recursive configurations (the dense map moves no bytes at all).
+    posmap_path_reads: int = 0
+    posmap_path_writes: int = 0
+    posmap_bytes_read: int = 0
+    posmap_bytes_written: int = 0
 
     @property
     def total_paths_touched(self) -> int:
@@ -50,6 +57,23 @@ class TrafficSnapshot:
         if self.logical_accesses == 0:
             return 0.0
         return self.total_paths_touched / self.logical_accesses
+
+    @property
+    def posmap_total_bytes(self) -> int:
+        """Position-map recursion bytes moved in both directions."""
+        return self.posmap_bytes_read + self.posmap_bytes_written
+
+    @property
+    def posmap_paths_per_access(self) -> float:
+        """Average recursion-level path reads per logical access.
+
+        The lookahead-amortization metric: LAORAM touches the recursive
+        position map once per *distinct* block of a superblock bin, so
+        this ratio drops below PathORAM's levels-per-access constant.
+        """
+        if self.logical_accesses == 0:
+            return 0.0
+        return self.posmap_path_reads / self.logical_accesses
 
 
 def merge_snapshots(snapshots: "Iterable[TrafficSnapshot]") -> TrafficSnapshot:
@@ -94,6 +118,10 @@ class TrafficCounter:
     bytes_written: int = 0
     stash_peak: int = 0
     background_evictions: int = 0
+    posmap_path_reads: int = 0
+    posmap_path_writes: int = 0
+    posmap_bytes_read: int = 0
+    posmap_bytes_written: int = 0
     stash_history: list[int] = field(default_factory=list)
     record_stash_history: bool = False
     deferred: bool = False
@@ -138,6 +166,22 @@ class TrafficCounter:
         self.buckets_written += num_buckets
         self.bytes_written += num_bytes
 
+    def record_posmap_path_read(self, num_bytes: int) -> None:
+        """Register one recursion-level path read of the position map.
+
+        Recursion traffic is its own category and is recorded live even
+        under ``deferred``: the recursive map only runs outside the fused
+        trace drivers (they require the dense map), so there is no pending
+        buffer for it to share.
+        """
+        self.posmap_path_reads += 1
+        self.posmap_bytes_read += num_bytes
+
+    def record_posmap_path_write(self, num_bytes: int) -> None:
+        """Register one recursion-level path write-back of the position map."""
+        self.posmap_path_writes += 1
+        self.posmap_bytes_written += num_bytes
+
     def record_background_eviction(self) -> None:
         """Register one background-eviction episode (may contain many dummy reads)."""
         if self.deferred:
@@ -168,6 +212,10 @@ class TrafficCounter:
         bytes_written: int = 0,
         stash_peak: int = 0,
         background_evictions: int = 0,
+        posmap_path_reads: int = 0,
+        posmap_path_writes: int = 0,
+        posmap_bytes_read: int = 0,
+        posmap_bytes_written: int = 0,
     ) -> None:
         """Fold a batch of pre-aggregated counts in (fused trace drivers).
 
@@ -186,6 +234,10 @@ class TrafficCounter:
         if stash_peak > self.stash_peak:
             self.stash_peak = stash_peak
         self.background_evictions += background_evictions
+        self.posmap_path_reads += posmap_path_reads
+        self.posmap_path_writes += posmap_path_writes
+        self.posmap_bytes_read += posmap_bytes_read
+        self.posmap_bytes_written += posmap_bytes_written
 
     def flush(self) -> None:
         """Fold any deferred pending counts into the dataclass fields."""
@@ -213,6 +265,10 @@ class TrafficCounter:
             bytes_written=self.bytes_written,
             stash_peak=self.stash_peak,
             background_evictions=self.background_evictions,
+            posmap_path_reads=self.posmap_path_reads,
+            posmap_path_writes=self.posmap_path_writes,
+            posmap_bytes_read=self.posmap_bytes_read,
+            posmap_bytes_written=self.posmap_bytes_written,
         )
 
     def reset(self) -> None:
@@ -227,5 +283,9 @@ class TrafficCounter:
         self.bytes_written = 0
         self.stash_peak = 0
         self.background_evictions = 0
+        self.posmap_path_reads = 0
+        self.posmap_path_writes = 0
+        self.posmap_bytes_read = 0
+        self.posmap_bytes_written = 0
         self.stash_history.clear()
         self._pending = [0] * 10

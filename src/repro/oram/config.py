@@ -90,6 +90,14 @@ class ORAMConfig:
         metadata_bytes_per_block: Per-block metadata (id, leaf, MAC) that is
             transferred alongside the payload.
         seed: Seed for path randomisation.
+        recursive_posmap: Store the position map in recursion ORAMs
+            (:class:`~repro.oram.recursive_posmap.RecursivePositionMap`)
+            instead of a trusted dense array; recursion traffic is charged
+            under the ``posmap_*`` counters.
+        posmap_positions_per_block: Leaf labels packed per recursion block
+            (χ in the PathORAM recursion construction).
+        posmap_cutoff_bytes: Client-memory budget the recursion shrinks the
+            top-level dense map under.
     """
 
     num_blocks: int
@@ -104,6 +112,9 @@ class ORAMConfig:
     stash_capacity: Optional[int] = None
     metadata_bytes_per_block: int = 16
     seed: int = 0
+    recursive_posmap: bool = False
+    posmap_positions_per_block: int = 64
+    posmap_cutoff_bytes: int = 1 << 16
 
     def __post_init__(self) -> None:
         if self.num_blocks < 1:
@@ -124,6 +135,10 @@ class ORAMConfig:
             raise ConfigurationError("fat_tree_growth must be 'linear' or 'increment'")
         if self.metadata_bytes_per_block < 0:
             raise ConfigurationError("metadata_bytes_per_block must be >= 0")
+        if self.posmap_positions_per_block < 2:
+            raise ConfigurationError("posmap_positions_per_block must be >= 2")
+        if self.posmap_cutoff_bytes < 8:
+            raise ConfigurationError("posmap_cutoff_bytes must be >= 8")
 
     # ------------------------------------------------------------------
     # Derived geometry

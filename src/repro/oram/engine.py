@@ -41,6 +41,7 @@ from repro.oram.base import AccessOp, ObliviousMemory
 from repro.oram.config import ORAMConfig
 from repro.oram.eviction import EvictionPolicy
 from repro.oram.position_map import PositionMap
+from repro.oram.recursive_posmap import RecursivePositionMap
 from repro.oram.shm import ArrayAllocator
 from repro.oram.stash import ArrayStash, Stash
 from repro.oram.tree import ArrayTreeStorage, TreeStorage
@@ -114,12 +115,29 @@ class TreeORAMEngine(ObliviousMemory):
         self.allocator = allocator
         self.tree = self._make_tree()
         self.stash = self._make_stash()
-        self.position_map = PositionMap(
-            num_blocks=config.num_blocks,
-            num_leaves=config.num_leaves,
-            rng=self.rng,
-            allocator=allocator,
-        )
+        if config.recursive_posmap:
+            # Both constructors make the identical initial-label draw from
+            # the engine RNG, so dense and recursive engines consume the
+            # stream identically and stay decision-identical.
+            self.position_map = RecursivePositionMap(
+                num_blocks=config.num_blocks,
+                num_leaves=config.num_leaves,
+                rng=self.rng,
+                allocator=allocator,
+                positions_per_block=config.posmap_positions_per_block,
+                cutoff_bytes=config.posmap_cutoff_bytes,
+                metadata_bytes_per_block=config.metadata_bytes_per_block,
+                counter=self.counter,
+                timing=self.timing,
+                seed=config.seed,
+            )
+        else:
+            self.position_map = PositionMap(
+                num_blocks=config.num_blocks,
+                num_leaves=config.num_leaves,
+                rng=self.rng,
+                allocator=allocator,
+            )
         self._stash_hits = 0
         # Buffered leaf draws (see _draw_leaf); an exhausted position on an
         # empty buffer forces the first refill.
@@ -483,9 +501,24 @@ class TreeORAMEngine(ObliviousMemory):
         """Blocks present across tree and stash (must equal ``num_blocks``)."""
         return self.tree.real_block_count() + len(self.stash)
 
+    #: Client-side bookkeeping per stashed block: the (id, leaf) pair the
+    #: stash tracks alongside the payload (two int64 rows in ``ArrayStash``,
+    #: the equivalent attributes on a per-object ``Block``).
+    STASH_ENTRY_OVERHEAD_BYTES = 16
+
     def client_memory_bytes(self) -> int:
-        """Approximate client memory: position map plus stash payload slots."""
-        stash_bytes = len(self.stash) * self.config.stored_block_bytes
+        """Client memory: position map (incl. recursion levels) plus stash.
+
+        Stash entries are charged at ``block_size_bytes`` plus the id/leaf
+        bookkeeping — *not* at ``stored_block_bytes``, whose
+        ``metadata_bytes_per_block`` component (MACs) exists only on the
+        server wire format and is never held by the client.  The position
+        map term covers the dense array or, under ``recursive_posmap``,
+        the recursion top map, per-level stash residue and open walks.
+        """
+        stash_bytes = len(self.stash) * (
+            self.config.block_size_bytes + self.STASH_ENTRY_OVERHEAD_BYTES
+        )
         return self.position_map.client_memory_bytes() + stash_bytes
 
     # ------------------------------------------------------------------
@@ -579,7 +612,7 @@ class ObjectStorageEngine(TreeORAMEngine):
         counters.
         """
         for block_id in range(self.config.num_blocks):
-            leaf = self.position_map.get(block_id)
+            leaf = self.position_map.peek(block_id)
             block = Block(block_id=block_id, leaf=leaf, payload=None)
             if not self.tree.try_place_on_path(block):
                 self.stash.add(block)
@@ -668,7 +701,7 @@ class ObjectStorageEngine(TreeORAMEngine):
         for block in blocks:
             if block is None:
                 continue
-            block.leaf = self.position_map.get(block.block_id)
+            block.leaf = self.position_map.peek(block.block_id)
             if not self.tree.try_place_on_path(block):
                 self.stash.add(block)
 
@@ -743,8 +776,9 @@ class ArrayStorageEngine(TreeORAMEngine):
         One vectorized pass per level; overflow goes to the stash in
         ascending id order, exactly as the per-object bulk load does.
         """
-        overflow = self.tree.bulk_place(self.position_map.leaves)
-        self.stash.append_rows(overflow, self.position_map.leaves[overflow])
+        initial_leaves = self.position_map.as_array()
+        overflow = self.tree.bulk_place(initial_leaves)
+        self.stash.append_rows(overflow, initial_leaves[overflow])
 
     def load_payloads(self, payloads: dict[int, object]) -> None:
         """Install payloads for blocks during trusted setup (no traffic charged)."""
@@ -767,7 +801,9 @@ class ArrayStorageEngine(TreeORAMEngine):
         return None
 
     def _stash_reattach(self, handle: int) -> None:
-        self.stash.add(handle, int(self.position_map.leaves[handle]))
+        # peek: the block is in hand (just detached), so its leaf tag is
+        # client-readable without an oblivious position-map access.
+        self.stash.add(handle, self.position_map.peek(handle))
 
     def _stash_insert(self, handle: int, leaf: int) -> None:
         self.stash.add(handle, leaf)
@@ -798,7 +834,8 @@ class ArrayStorageEngine(TreeORAMEngine):
     def _fetch_path(self, leaf: int) -> None:
         ids = self.tree.read_path_ids(leaf)
         if ids.size:
-            self.stash.append_rows(ids, self.position_map.leaves[ids])
+            # peek_many: fetched blocks carry their leaf tags on the wire.
+            self.stash.append_rows(ids, self.position_map.peek_many(ids))
 
     def _read_paths_into_stash(
         self, leaves: Sequence[int], dummy: bool = False
@@ -817,7 +854,7 @@ class ArrayStorageEngine(TreeORAMEngine):
             return
         ids = self.tree.read_paths_ids(np.asarray(leaves, dtype=np.int64))
         if ids.size:
-            self.stash.append_rows(ids, self.position_map.leaves[ids])
+            self.stash.append_rows(ids, self.position_map.peek_many(ids))
         observer = self.observer
         for leaf in leaves:
             num_buckets, num_bytes = self.tree.path_cost(leaf)
@@ -838,14 +875,17 @@ class ArrayStorageEngine(TreeORAMEngine):
         Falls back to the generic per-access loop whenever this engine's
         decisions are not the plain PathORAM sequence the fused core
         replicates: an overridden ``access`` (protocol mixins ship their own
-        fused drivers), a plan-driven ``_choose_new_leaf`` (LAORAM), or a
-        custom eviction policy class.
+        fused drivers), a plan-driven ``_choose_new_leaf`` (LAORAM), a
+        custom eviction policy class, or a non-dense position map (the
+        fused core writes the dense leaf array directly, which would
+        bypass recursion charging).
         """
         cls = type(self)
         if (
             cls.access is not TreeORAMEngine.access
             or cls._choose_new_leaf is not TreeORAMEngine._choose_new_leaf
             or type(self.eviction) is not EvictionPolicy
+            or type(self.position_map) is not PositionMap
         ):
             return TreeORAMEngine.run_trace(self, block_ids, ops, payloads)
         return self._run_trace_fused(block_ids, ops, payloads)
@@ -1342,7 +1382,7 @@ class ArrayStorageEngine(TreeORAMEngine):
         self.stash.clear()
         if ordered.size == 0:
             return
-        pm_leaves = self.position_map.leaves
+        pm_leaves = self.position_map.as_array()
         overflow = self.tree.bulk_place_ordered(ordered, pm_leaves[ordered])
         if overflow.size:
             self.stash.append_rows(overflow, pm_leaves[overflow])

@@ -10,6 +10,27 @@ from repro.exceptions import BlockNotFoundError, ConfigurationError
 from repro.oram.shm import DEFAULT_ALLOCATOR, ArrayAllocator
 
 
+def _as_int_array(values, label: str) -> np.ndarray:
+    """Coerce ``values`` to int64, rejecting non-integer inputs.
+
+    ``np.asarray(values, dtype=np.int64)`` on float input silently
+    truncates, so a fractional leaf or id would pass the range checks with
+    a corrupted value; lists are validated through the same dtype
+    inspection (``np.asarray`` without a dtype infers float for mixed or
+    fractional content).
+    """
+    array = np.asarray(values)
+    if array.dtype.kind in ("i", "u"):
+        return array.astype(np.int64, copy=False)
+    if array.size == 0:
+        # An empty Python list infers float64; nothing to truncate.
+        return np.empty(array.shape, dtype=np.int64)
+    raise ConfigurationError(
+        f"{label} must be an integer array, got dtype {array.dtype} "
+        "(non-integer input would be silently truncated)"
+    )
+
+
 class PositionMap:
     """Maps every real block to the leaf (path) it is currently assigned to.
 
@@ -57,16 +78,30 @@ class PositionMap:
         self._leaves[block_id] = leaf
 
     def get_many(self, block_ids) -> np.ndarray:
-        """Vectorised lookup of several block ids."""
-        ids = np.asarray(block_ids, dtype=np.int64)
+        """Vectorised lookup of several block ids.
+
+        Raises the same exception types as the scalar :meth:`get`:
+        :class:`~repro.exceptions.BlockNotFoundError` for out-of-range ids
+        and :class:`~repro.exceptions.ConfigurationError` for inputs that
+        are not integers (a float array would silently truncate).
+        """
+        ids = _as_int_array(block_ids, "block_ids")
         if ids.size and (ids.min() < 0 or ids.max() >= self._leaves.size):
             raise BlockNotFoundError("block id outside position map range")
         return self._leaves[ids]
 
     def set_many(self, block_ids, leaves) -> None:
-        """Vectorised reassignment of several block ids."""
-        ids = np.asarray(block_ids, dtype=np.int64)
-        new_leaves = np.asarray(leaves, dtype=np.int64)
+        """Vectorised reassignment of several block ids.
+
+        Mirrors the scalar :meth:`set`: non-integer inputs raise
+        :class:`~repro.exceptions.ConfigurationError` instead of being
+        truncated (``leaf * 0.5`` bugs used to pass the range checks after
+        the implicit ``int64`` cast), ids outside the map raise
+        :class:`~repro.exceptions.BlockNotFoundError`, and leaves outside
+        ``[0, num_leaves)`` raise ``ConfigurationError``.
+        """
+        ids = _as_int_array(block_ids, "block_ids")
+        new_leaves = _as_int_array(leaves, "leaves")
         if ids.size != new_leaves.size:
             raise ConfigurationError("block_ids and leaves must have equal length")
         if ids.size == 0:
@@ -76,6 +111,43 @@ class PositionMap:
         if new_leaves.min() < 0 or new_leaves.max() >= self._num_leaves:
             raise ConfigurationError("leaf outside position map leaf range")
         self._leaves[ids] = new_leaves
+
+    # ------------------------------------------------------------------
+    # Charge-free channel (shared with RecursivePositionMap)
+    # ------------------------------------------------------------------
+    def peek(self, block_id: int) -> int:
+        """Leaf of ``block_id`` through the metadata channel (never charged).
+
+        Blocks fetched from a path carry their (id, leaf) metadata with
+        them, so the engine may read the label of an already-transferred
+        block without touching the position map obliviously.  On the dense
+        map this is :meth:`get`; the recursive map implements it without a
+        recursion walk.  Only sanctioned for blocks the caller just moved
+        (path fetches, stash reattach) and for trusted setup.
+        """
+        self._check(block_id)
+        return int(self._leaves[block_id])
+
+    def peek_many(self, block_ids) -> np.ndarray:
+        """Vectorised :meth:`peek` (same sanction rules)."""
+        ids = _as_int_array(block_ids, "block_ids")
+        if ids.size and (ids.min() < 0 or ids.max() >= self._leaves.size):
+            raise BlockNotFoundError("block id outside position map range")
+        return self._leaves[ids]
+
+    def load(self, block_id: int, leaf: int) -> None:
+        """Trusted-setup assignment: :meth:`set` semantics, never charged."""
+        self.set(block_id, leaf)
+
+    def load_many(self, block_ids, leaves) -> None:
+        """Trusted-setup bulk assignment (:meth:`set_many`, never charged).
+
+        Initial placement and co-location run before the first
+        adversary-visible access, under the same trust assumption as
+        PathORAM's bulk load; routing them through ``load_many`` keeps
+        them charge-free on the recursive map.
+        """
+        self.set_many(block_ids, leaves)
 
     @property
     def leaves(self) -> np.ndarray:

@@ -47,6 +47,7 @@ from repro.oram.config import ORAMConfig
 from repro.oram.engine import TreeORAMEngine
 from repro.oram.eviction import EvictionPolicy
 from repro.oram.path_oram import PathORAM
+from repro.oram.position_map import PositionMap
 
 
 class SuperblockMode(enum.Enum):
@@ -139,7 +140,7 @@ class SuperblockPolicyMixin:
         for group in range(self._num_groups()):
             shared_leaf = int(self.rng.integers(0, self._num_leaves))
             for member in self.group_members(group):
-                self.position_map.set(member, shared_leaf)
+                self.position_map.load(member, shared_leaf)
         self._relayout_tree()
 
     def _update_locality(self, block_id: int) -> None:
@@ -297,6 +298,7 @@ class ArrayPrORAM(SuperblockPolicyMixin, ArrayPathORAM):
             cls.access is not SuperblockPolicyMixin.access
             or cls._choose_new_leaf is not TreeORAMEngine._choose_new_leaf
             or type(self.eviction) is not EvictionPolicy
+            or type(self.position_map) is not PositionMap
         ):
             return TreeORAMEngine.run_trace(self, block_ids, ops, payloads)
         if self.superblock_size == 1:

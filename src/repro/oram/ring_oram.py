@@ -39,6 +39,7 @@ from repro.oram.engine import (
     TreeORAMEngine,
     _fused_fetch,
 )
+from repro.oram.position_map import PositionMap
 from repro.oram.write_back import fused_greedy_write_back as _fused_write_back
 
 
@@ -225,7 +226,10 @@ class ArrayRingORAM(RingProtocolMixin, ArrayStorageEngine):
         payloads=None,
     ):
         """Fused RingORAM trace driver (sequential semantics)."""
-        if type(self).access is not RingProtocolMixin.access:
+        if (
+            type(self).access is not RingProtocolMixin.access
+            or type(self.position_map) is not PositionMap
+        ):
             return TreeORAMEngine.run_trace(self, block_ids, ops, payloads)
         return self._run_trace_ring_fused(block_ids, ops, payloads)
 

@@ -41,3 +41,13 @@ class Engine:
     def secret_index(self, block_id, slots):
         leaf = self.position_map.get(block_id)
         return slots[leaf]  # EXPECT: OBL002
+
+    def secret_recursion_level_skip(self, block_id, levels):
+        # A recursion walk that skips upper levels for small ids leaks the
+        # id through the number of observable path transfers.
+        leaf = 0
+        for level in levels:
+            if block_id < level.num_blocks:  # EXPECT: OBL001
+                break
+            leaf = level.read_path(leaf)
+        return leaf

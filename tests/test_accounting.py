@@ -1,7 +1,9 @@
 """Tests for the traffic counters the evaluation metrics are built on."""
 
+import numpy as np
 import pytest
 
+from repro.experiments.configs import build_engine, build_oram_config
 from repro.memory.accounting import TrafficCounter
 
 
@@ -93,3 +95,63 @@ class TestTrafficCounter:
         assert snap.path_reads == 0
         assert snap.stash_peak == 0
         assert counter.stash_history == []
+
+
+class TestEngineClientMemory:
+    """``client_memory_bytes`` charges what the client actually holds.
+
+    Regression for the seed accounting bug: stashed blocks were charged
+    at ``stored_block_bytes``, which includes ``metadata_bytes_per_block``
+    — the server-side wire format's MAC field, never held in client
+    memory.  The honest formula is the dense position-map array (or the
+    recursion footprint) plus ``block_size_bytes + 16`` per stashed block
+    (payload plus the id/leaf bookkeeping rows).
+    """
+
+    def _engine(self, metadata_bytes, fast=True):
+        # LAORAM's superblock remaps leave a real stash residue (PathORAM's
+        # greedy write-back drains to zero at this scale, which would make
+        # the stash term vacuous).
+        config = build_oram_config(
+            num_blocks=4096, block_size_bytes=32, seed=3
+        ).with_overrides(
+            metadata_bytes_per_block=metadata_bytes,
+            background_eviction=False,
+        )
+        engine = build_engine("Normal/S4", config, fast=fast)
+        trace = np.random.default_rng(1).integers(0, 4096, size=2000)
+        engine.run_trace(trace)
+        return engine
+
+    def test_formula_excludes_server_metadata(self):
+        engine = self._engine(metadata_bytes=16)
+        assert len(engine.stash) > 0
+        expected = engine.position_map.client_memory_bytes() + len(
+            engine.stash
+        ) * (32 + engine.STASH_ENTRY_OVERHEAD_BYTES)
+        assert engine.client_memory_bytes() == expected
+
+    def test_metadata_size_does_not_change_client_memory(self):
+        # Same seed, same trace: only the server wire format differs, so
+        # the client footprint must be identical.
+        lean = self._engine(metadata_bytes=0)
+        fat = self._engine(metadata_bytes=64)
+        assert len(lean.stash) == len(fat.stash)
+        assert lean.client_memory_bytes() == fat.client_memory_bytes()
+
+    def test_recursive_map_included(self):
+        config = build_oram_config(
+            num_blocks=4096,
+            block_size_bytes=32,
+            seed=3,
+            recursive_posmap=True,
+            posmap_cutoff_bytes=1 << 10,
+        )
+        engine = build_engine("PathORAM", config, fast=True)
+        dense_config = config.with_overrides(recursive_posmap=False)
+        dense = build_engine("PathORAM", dense_config, fast=True)
+        trace = np.random.default_rng(1).integers(0, 4096, size=500)
+        engine.run_trace(trace)
+        dense.run_trace(trace)
+        assert len(engine.stash) == len(dense.stash)
+        assert engine.client_memory_bytes() < dense.client_memory_bytes()

@@ -134,3 +134,43 @@ class TestPositionMap:
     def test_client_memory_reported(self):
         pmap = PositionMap(1000, 16, np.random.default_rng(0))
         assert pmap.client_memory_bytes() == 8000
+
+    def test_non_integer_ids_rejected(self):
+        pmap = PositionMap(10, 8, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            pmap.get_many(np.array([0.0, 1.0]))
+        with pytest.raises(ConfigurationError):
+            pmap.set_many(np.array([0.5, 1.5]), [2, 3])
+
+    def test_non_integer_leaves_rejected(self):
+        # Float leaves used to be silently truncated into the int64 array;
+        # they must now fail with the same exception type the scalar
+        # ``set`` raises for an invalid leaf.
+        pmap = PositionMap(10, 8, np.random.default_rng(0))
+        before = pmap.as_array()
+        with pytest.raises(ConfigurationError):
+            pmap.set_many([0, 1], np.array([2.7, 3.2]))
+        assert np.array_equal(pmap.as_array(), before)  # nothing was written
+
+    def test_set_many_out_of_range_matches_scalar_exceptions(self):
+        pmap = PositionMap(10, 8, np.random.default_rng(0))
+        with pytest.raises(BlockNotFoundError):
+            pmap.set_many([0, 99], [1, 2])
+        with pytest.raises(ConfigurationError):
+            pmap.set_many([0, 1], [1, 8])
+
+    def test_empty_batches_allowed(self):
+        pmap = PositionMap(10, 8, np.random.default_rng(0))
+        before = pmap.as_array()
+        pmap.set_many([], [])
+        assert pmap.get_many([]).size == 0
+        assert np.array_equal(pmap.as_array(), before)
+
+    def test_peek_and_load_channel(self):
+        pmap = PositionMap(10, 8, np.random.default_rng(0))
+        pmap.load(2, 6)
+        assert pmap.peek(2) == 6
+        pmap.load_many([3, 4], [1, 2])
+        assert pmap.peek_many([3, 4]).tolist() == [1, 2]
+        with pytest.raises(BlockNotFoundError):
+            pmap.peek(10)

@@ -1,0 +1,326 @@
+"""Recursive ORAM-backed position map: equivalence, charging, security.
+
+Four concerns, mirroring the contract in
+``docs/recursive_position_map.md``:
+
+* **Dense/recursive bit-identity** — for every engine family and seed,
+  swapping the dense map for the recursion must leave every main-tree
+  decision untouched: identical final leaf assignments and identical
+  core traffic counters, with only the ``posmap_*`` category differing.
+* **Charging model** — one charged walk per position-map update: a
+  ``get`` walks, the matching ``set`` rides that walk for free, a
+  standalone ``set`` walks on its own, and the ``peek``/``load``
+  trusted channel never charges.
+* **Honest accounting** — ``client_memory_bytes`` counts the recursion
+  top map and per-level stash residue, not the dense array.
+* **Obliviousness** — the observable leaf stream of every recursion
+  tree stays uniform under a skewed logical access stream (the same
+  chi-square adversary as ``tests/test_security_uniformity_fast.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.zipf import ZipfTraceGenerator
+from repro.exceptions import BlockNotFoundError, ConfigurationError
+from repro.experiments.configs import build_engine, build_oram_config
+from repro.experiments.recursion import (
+    run_recursion_amortization,
+    render_recursion_table,
+)
+from repro.memory.accounting import TrafficCounter, merge_snapshots
+from repro.oram.position_map import PositionMap
+from repro.oram.recursive_posmap import RecursivePositionMap
+from repro.utils.stats import chi_square_uniformity
+
+NUM_BLOCKS = 256
+NUM_ACCESSES = 600
+
+FAMILY_LABELS = (
+    "PathORAM",
+    "Normal/S4",
+    "RingORAM",
+    "PrORAM-dynamic/S2",
+    "PrORAM-static/S2",
+)
+
+#: Main-tree snapshot fields that must not change under recursion.
+CORE_FIELDS = (
+    "logical_accesses",
+    "path_reads",
+    "path_writes",
+    "dummy_reads",
+    "buckets_read",
+    "buckets_written",
+    "bytes_read",
+    "bytes_written",
+    "stash_peak",
+    "background_evictions",
+)
+
+
+def run_engine(label: str, seed: int, fast: bool, recursive: bool):
+    # chi=4 over 256 blocks with a 256-byte cutoff builds two recursion
+    # levels (64 -> 16 blocks), exercising the full multi-level walk.
+    config = build_oram_config(
+        num_blocks=NUM_BLOCKS,
+        block_size_bytes=32,
+        seed=seed,
+        recursive_posmap=recursive,
+        posmap_positions_per_block=4,
+        posmap_cutoff_bytes=256,
+    )
+    engine = build_engine(label, config, fast=fast)
+    trace = ZipfTraceGenerator(NUM_BLOCKS, exponent=1.2, seed=seed).generate(
+        NUM_ACCESSES
+    ).addresses
+    if hasattr(engine, "run_trace"):
+        engine.run_trace(trace)
+    else:
+        for block_id in trace.tolist():
+            engine.access(block_id)
+    return engine
+
+
+def make_map(
+    num_blocks=4096,
+    num_leaves=2048,
+    chi=16,
+    cutoff=1024,
+    seed=5,
+    counter=None,
+    record_streams=False,
+):
+    return RecursivePositionMap(
+        num_blocks,
+        num_leaves,
+        rng=np.random.default_rng(seed),
+        positions_per_block=chi,
+        cutoff_bytes=cutoff,
+        counter=counter,
+        seed=seed,
+        record_streams=record_streams,
+    )
+
+
+class TestDenseRecursiveBitIdentity:
+    """Recursion changes where the map lives, never what the engine does."""
+
+    @pytest.mark.parametrize("label", FAMILY_LABELS)
+    @pytest.mark.parametrize("seed", [3, 11])
+    @pytest.mark.parametrize("fast", [False, True])
+    def test_main_tree_identical(self, label, seed, fast):
+        dense = run_engine(label, seed, fast, recursive=False)
+        recursive = run_engine(label, seed, fast, recursive=True)
+        assert np.array_equal(
+            dense.position_map.as_array(), recursive.position_map.as_array()
+        )
+        dense_snap = dense.statistics
+        rec_snap = recursive.statistics
+        for name in CORE_FIELDS:
+            assert getattr(dense_snap, name) == getattr(rec_snap, name), name
+        # The posmap category is where the two runs legitimately differ.
+        assert dense_snap.posmap_path_reads == 0
+        assert dense_snap.posmap_total_bytes == 0
+        assert rec_snap.posmap_path_reads > 0
+        assert rec_snap.posmap_bytes_read > 0
+
+    @pytest.mark.parametrize(
+        "label", ["PathORAM", "Normal/S4", "RingORAM", "PrORAM-dynamic/S2"]
+    )
+    def test_object_and_array_twins_agree_under_recursion(self, label):
+        reference = run_engine(label, 3, fast=False, recursive=True)
+        fast = run_engine(label, 3, fast=True, recursive=True)
+        assert reference.statistics == fast.statistics
+        assert np.array_equal(
+            reference.position_map.as_array(), fast.position_map.as_array()
+        )
+
+
+class TestChargingModel:
+    """Exactly one charged walk per position-map update."""
+
+    def test_get_entitles_the_matching_set(self):
+        counter = TrafficCounter()
+        pmap = make_map(counter=counter)
+        leaf = pmap.get(17)
+        assert 0 <= leaf < pmap.num_leaves
+        walks_after_get = counter.posmap_path_reads
+        pmap.set(17, 5)
+        assert counter.posmap_path_reads == walks_after_get
+        assert pmap.peek(17) == 5
+
+    def test_standalone_sets_are_charged(self):
+        counter = TrafficCounter()
+        pmap = make_map(counter=counter)
+        rng = np.random.default_rng(0)
+        for block_id in rng.choice(len(pmap), size=200, replace=False).tolist():
+            pmap.set(int(block_id), 3)
+        assert counter.posmap_path_reads > 0
+        assert counter.posmap_path_writes > 0
+        assert counter.posmap_bytes_read > 0
+
+    def test_peek_and_load_never_charge(self):
+        counter = TrafficCounter()
+        pmap = make_map(counter=counter)
+        pmap.peek(3)
+        pmap.peek_many([0, 1, 2])
+        pmap.load(3, 9)
+        pmap.load_many([4, 5], [6, 7])
+        snapshot = counter.snapshot()
+        assert snapshot.posmap_path_reads == 0
+        assert snapshot.posmap_path_writes == 0
+        assert snapshot.posmap_total_bytes == 0
+        assert pmap.peek(3) == 9
+        assert pmap.peek_many([4, 5]).tolist() == [6, 7]
+
+    def test_get_many_set_many_round_trip(self):
+        counter = TrafficCounter()
+        pmap = make_map(counter=counter)
+        ids = np.arange(40, 80, dtype=np.int64)
+        old = pmap.get_many(ids)
+        assert old.shape == ids.shape
+        new = np.arange(40, dtype=np.int64) % pmap.num_leaves
+        walks_after_get = counter.posmap_path_reads
+        pmap.set_many(ids, new)
+        # Every set consumed the entitlement of its get: no extra walks.
+        assert counter.posmap_path_reads == walks_after_get
+        assert np.array_equal(pmap.peek_many(ids), new)
+
+    def test_degenerate_map_below_cutoff_is_dense(self):
+        counter = TrafficCounter()
+        pmap = make_map(num_blocks=64, num_leaves=32, cutoff=1 << 16,
+                        counter=counter)
+        assert pmap.num_levels == 0
+        pmap.set(1, pmap.get(1))
+        assert counter.snapshot().posmap_total_bytes == 0
+
+    def test_validation_matches_dense_exception_types(self):
+        pmap = make_map(num_blocks=64, num_leaves=32, cutoff=64)
+        with pytest.raises(BlockNotFoundError):
+            pmap.get(64)
+        with pytest.raises(BlockNotFoundError):
+            pmap.get_many([0, 64])
+        with pytest.raises(ConfigurationError):
+            pmap.set(0, 32)
+        with pytest.raises(ConfigurationError):
+            pmap.set_many([0, 1], [0.5, 1.5])
+        with pytest.raises(ConfigurationError):
+            pmap.get_many(np.array([0.0, 1.0]))
+        with pytest.raises(BlockNotFoundError):
+            pmap.load(-1, 0)
+        with pytest.raises(ConfigurationError):
+            pmap.load_many([0], [99])
+
+
+class TestHonestAccounting:
+    """Client memory counts what the client actually holds."""
+
+    def test_recursive_footprint_beats_dense(self):
+        dense = PositionMap(4096, 2048, np.random.default_rng(5))
+        recursive = make_map()
+        assert recursive.num_levels >= 2
+        assert recursive.client_memory_bytes() < dense.client_memory_bytes() / 4
+
+    def test_footprint_components(self):
+        pmap = make_map()
+        chi = pmap.positions_per_block
+        expected = pmap._top.nbytes
+        for level in pmap._levels:
+            expected += len(level.stash) * (chi * 8 + 16)
+        assert pmap.client_memory_bytes() == expected
+        pmap.get(0)
+        # The open walk's entitlement is client state too.
+        assert pmap.client_memory_bytes() >= expected
+
+    def test_geometry_reports_every_level(self):
+        pmap = make_map()
+        geometry = pmap.geometry()
+        assert len(geometry) == pmap.num_levels
+        assert geometry[0]["blocks"] == -(-4096 // 16)
+        assert all(entry["path_bytes"] > 0 for entry in geometry)
+        assert pmap.server_memory_bytes() > 0
+
+
+class TestPosmapCounters:
+    """The posmap_* category accumulates and merges like the core fields."""
+
+    def test_record_and_snapshot(self):
+        counter = TrafficCounter()
+        counter.record_posmap_path_read(100)
+        counter.record_posmap_path_read(100)
+        counter.record_posmap_path_write(80)
+        counter.record_logical_access(4)
+        snapshot = counter.snapshot()
+        assert snapshot.posmap_path_reads == 2
+        assert snapshot.posmap_path_writes == 1
+        assert snapshot.posmap_bytes_read == 200
+        assert snapshot.posmap_bytes_written == 80
+        assert snapshot.posmap_total_bytes == 280
+        assert snapshot.posmap_paths_per_access == pytest.approx(0.5)
+
+    def test_reset_clears_posmap_fields(self):
+        counter = TrafficCounter()
+        counter.record_posmap_path_read(100)
+        counter.reset()
+        assert counter.snapshot().posmap_total_bytes == 0
+
+    def test_merge_sums_posmap_fields(self):
+        first = TrafficCounter()
+        first.record_posmap_path_read(10)
+        second = TrafficCounter()
+        second.record_posmap_path_write(20)
+        merged = merge_snapshots([first.snapshot(), second.snapshot()])
+        assert merged.posmap_path_reads == 1
+        assert merged.posmap_path_writes == 1
+        assert merged.posmap_total_bytes == 30
+
+
+class TestRecursionTreeUniformity:
+    """Observable recursion-path streams stay uniform under skewed ids."""
+
+    COARSE_BINS = 64
+    ALPHA = 0.001
+
+    def test_per_level_streams_uniform(self):
+        pmap = make_map(seed=9, record_streams=True)
+        addresses = ZipfTraceGenerator(
+            len(pmap), exponent=1.2, seed=2
+        ).generate(3000).addresses
+        rng = np.random.default_rng(4)
+        for block_id in addresses.tolist():
+            pmap.get(block_id)
+            pmap.set(block_id, int(rng.integers(0, pmap.num_leaves)))
+        for level in pmap._levels:
+            stream = np.asarray(level.read_stream, dtype=np.int64)
+            assert stream.size >= 500
+            bins = min(self.COARSE_BINS, level.num_leaves)
+            coarse = (stream * bins) // level.num_leaves
+            result = chi_square_uniformity(coarse, bins)
+            assert not result.rejects_uniformity(alpha=self.ALPHA)
+
+
+class TestAmortizationExperiment:
+    """The importable harness behind the committed full-scale sweep."""
+
+    def test_reduced_scale_table(self):
+        rows = run_recursion_amortization(
+            num_blocks_list=(1 << 12,), num_accesses=1500,
+            cutoff_bytes=1 << 10,
+        )
+        assert {row.family for row in rows} == {
+            "laoram", "pathoram", "ringoram"
+        }
+        by_family = {row.family: row for row in rows}
+        assert all(row.bit_identical for row in rows)
+        assert all(row.num_levels >= 1 for row in rows)
+        # PathORAM/RingORAM pay one walk per access; LAORAM's superblock
+        # bins amortize repeated accesses onto one walk.
+        assert by_family["pathoram"].walks_per_access == pytest.approx(1.0)
+        assert by_family["ringoram"].walks_per_access == pytest.approx(1.0)
+        assert (
+            by_family["laoram"].walks_per_access
+            < by_family["pathoram"].walks_per_access
+        )
+        table = render_recursion_table(rows)
+        assert "walks/access" in table and "laoram" in table
